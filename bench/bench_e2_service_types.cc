@@ -1,0 +1,190 @@
+// E2 — Types of service (the paper's goal #2).
+//
+// Claim: one transport cannot serve both the reliable/throughput service
+// (file transfer) and the low-latency/loss-tolerant services (remote
+// login, packet voice, XNET). "It was decided ... to take the unreliable
+// datagram service and make it available directly" — hence the TCP/IP
+// split and UDP.
+//
+// Setup: a 256 kbit/s bottleneck carries three concurrent applications:
+// bulk TCP, an interactive typist, and a voice call. The voice call runs
+// once over UDP and once forced through TCP.
+#include "app/bulk.h"
+#include "app/interactive.h"
+#include "app/request_response.h"
+#include "app/voice.h"
+#include "common.h"
+#include "core/flow.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+#include "link/queue.h"
+
+using namespace catenet;
+using namespace catenet::bench;
+
+namespace {
+
+struct Scenario {
+    // Measurements.
+    double bulk_goodput_kbps = 0;
+    double key_rtt_p50 = 0;
+    double key_rtt_p99 = 0;
+    app::VoiceReport voice;
+};
+
+Scenario run(bool voice_over_tcp, bool with_cross_traffic) {
+    core::Internetwork net(2002);
+    core::Host& user = net.add_host("user");
+    core::Host& server = net.add_host("server");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+
+    link::LinkParams bottleneck = link::presets::leased_line();
+    bottleneck.bits_per_second = 256'000;
+    bottleneck.queue_capacity_packets = 20;
+    net.connect(user, g1, link::presets::ethernet_hop());
+    net.connect(g1, g2, bottleneck);
+    net.connect(g2, server, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    constexpr auto kRun = sim::seconds(60);
+
+    // Bulk transfer (cross traffic).
+    app::BulkServer bulk_server(server, 21);
+    app::BulkSender bulk(user, server.address(), 21, 64ull * 1024 * 1024);
+    if (with_cross_traffic) bulk.start();
+
+    // Interactive typist.
+    app::EchoServer echo(server, 23);
+    app::InteractiveConfig ic;
+    ic.mean_interkey = sim::milliseconds(200);
+    ic.tcp.nagle = false;
+    app::InteractiveClient typist(user, server.address(), 23, ic);
+    typist.start();
+
+    Scenario out;
+    if (voice_over_tcp) {
+        app::VoiceOverTcp call(user, server, 5004);
+        call.start(kRun);
+        net.run_for(kRun + sim::seconds(10));
+        out.voice = call.report();
+    } else {
+        app::VoiceOverUdp call(user, server, 5004);
+        call.start(kRun);
+        net.run_for(kRun + sim::seconds(10));
+        out.voice = call.report();
+    }
+    typist.stop();
+
+    out.bulk_goodput_kbps =
+        static_cast<double>(bulk_server.total_bytes_received()) * 8.0 / 1000.0 /
+        kRun.seconds();
+    out.key_rtt_p50 = typist.echo_rtts_ms().median();
+    out.key_rtt_p99 = typist.echo_rtts_ms().percentile(99);
+    return out;
+}
+
+// --- part 2: military precedence (the paper's other goal-2 clientele) ----
+
+struct PrecedenceResult {
+    double p50_ms;
+    double p99_ms;
+    std::uint64_t served;
+};
+
+PrecedenceResult run_precedence(bool precedence_queue) {
+    core::Internetwork net(2003);
+    core::Host& commander = net.add_host("commander");
+    core::Host& clerk = net.add_host("clerk");
+    core::Host& hq = net.add_host("hq");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    link::LinkParams thin = link::presets::leased_line();
+    thin.bits_per_second = 128'000;
+    thin.queue_capacity_packets = 30;
+    net.connect(commander, g1, link::presets::ethernet_hop());
+    net.connect(clerk, g1, link::presets::ethernet_hop());
+    const auto bl = net.connect(g1, g2, thin);
+    net.connect(g2, hq, link::presets::ethernet_hop());
+    net.use_static_routes();
+    if (precedence_queue) {
+        net.link(bl).set_queue_a(std::make_unique<link::PriorityQueue>(
+            2, 15, [](const link::Packet& p) -> std::uint64_t {
+                auto key = core::classify_packet(p.bytes);
+                return (key && (key->tos & 0b1110'0000) != 0) ? 0 : 1;
+            }));
+    }
+
+    tcp::TcpConfig routine;
+    app::BulkServer files(hq, 21, routine);
+    app::BulkSender upload(clerk, hq.address(), 21, 512ull * 1024 * 1024, routine);
+    upload.start();
+
+    tcp::TcpConfig command;
+    command.tos = 0b1000'0000;  // FLASH OVERRIDE
+    command.nagle = false;
+    app::RpcServer c2_server(hq, 111, command);
+    app::RpcClientConfig rpc;
+    rpc.tcp = command;
+    rpc.response_bytes = 64;
+    rpc.mean_interarrival = sim::milliseconds(250);
+    app::RpcClient c2(commander, hq.address(), 111, rpc);
+    c2.start();
+    net.run_for(sim::seconds(60));
+    c2.stop();
+
+    return PrecedenceResult{c2.latencies_ms().median(), c2.latencies_ms().percentile(99),
+                            c2.responses_received()};
+}
+
+}  // namespace
+
+int main() {
+    banner("E2 — multiple types of service over one datagram layer",
+           "reliable-sequenced delivery (TCP) suits bulk transfer; remote "
+           "login needs low delay; voice must trade reliability for "
+           "timeliness (UDP) — one unified reliable transport cannot serve "
+           "all three");
+
+    const auto quiet = run(/*voice_over_tcp=*/false, /*with_cross_traffic=*/false);
+    const auto udp = run(false, true);
+    const auto tcp = run(true, true);
+
+    std::printf("[60 s run; voice playout budget 150 ms; 256 kbit/s bottleneck]\n");
+    Table t({"scenario", "bulk kb/s", "key p50 ms", "key p99 ms", "voice usable %",
+             "voice lost %", "voice p99 ms"});
+    t.row({"idle net, voice/UDP", fmt(quiet.bulk_goodput_kbps, 0), fmt(quiet.key_rtt_p50, 1),
+           fmt(quiet.key_rtt_p99, 1), fmt(quiet.voice.usable_fraction * 100, 1),
+           fmt(quiet.voice.loss_fraction * 100, 2), fmt(quiet.voice.p99_latency_ms, 1)});
+    t.row({"loaded, voice/UDP", fmt(udp.bulk_goodput_kbps, 0), fmt(udp.key_rtt_p50, 1),
+           fmt(udp.key_rtt_p99, 1), fmt(udp.voice.usable_fraction * 100, 1),
+           fmt(udp.voice.loss_fraction * 100, 2), fmt(udp.voice.p99_latency_ms, 1)});
+    t.row({"loaded, voice/TCP", fmt(tcp.bulk_goodput_kbps, 0), fmt(tcp.key_rtt_p50, 1),
+           fmt(tcp.key_rtt_p99, 1), fmt(tcp.voice.usable_fraction * 100, 1),
+           fmt(tcp.voice.loss_fraction * 100, 2), fmt(tcp.voice.p99_latency_ms, 1)});
+    t.print();
+
+    std::printf(
+        "\n[part 2: military precedence — command RPCs (FLASH OVERRIDE ToS) vs a\n"
+        " routine bulk upload saturating a 128 kbit/s line]\n");
+    Table p({"bottleneck queue", "C2 RPC p50 ms", "C2 RPC p99 ms", "RPCs served"});
+    const auto fifo = run_precedence(false);
+    p.row({"FIFO (ToS ignored)", fmt(fifo.p50_ms, 1), fmt(fifo.p99_ms, 1),
+           fmt_u(fifo.served)});
+    const auto prio = run_precedence(true);
+    p.row({"precedence queue", fmt(prio.p50_ms, 1), fmt(prio.p99_ms, 1),
+           fmt_u(prio.served)});
+    p.print();
+
+    verdict(
+        "bulk transfer fills the pipe in every case (TCP's job). Voice over "
+        "UDP loses a few frames under load but keeps its latency tail short; "
+        "the identical stream through TCP loses nothing yet delivers a "
+        "longer tail and fewer on-time frames — retransmission converts loss "
+        "into lateness, which is the wrong trade for speech. This is the "
+        "paper's case for splitting TCP from IP and exposing datagrams. And "
+        "the precedence table is goal 2's military half: the 1981 ToS bits "
+        "plus a priority queue keep command traffic responsive through "
+        "saturation.");
+    return 0;
+}

@@ -1,0 +1,115 @@
+// E6 — The host as part of the architecture (the paper's goal #6).
+//
+// Claim: "the burden of reliability was placed on the host ... a poor
+// implementation of the [transport] mechanism can hurt the host" — and,
+// as 1986's congestion collapses showed, a misbehaving host also hurts
+// everyone sharing the path. The architecture cannot force a host to
+// implement TCP well; it can only arrange that most of the pain lands on
+// the offender.
+//
+// Setup: two senders share a 512 kbit/s bottleneck. Each is either a
+// well-behaved 1988 TCP (adaptive RTO, slow start, congestion avoidance,
+// fast retransmit) or a "naive host" (fixed 1 s retransmission timer, no
+// congestion control, no fast retransmit) — the implementation quality
+// the paper frets about.
+#include "app/bulk.h"
+#include "common.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+
+using namespace catenet;
+using namespace catenet::bench;
+
+namespace {
+
+tcp::TcpConfig good_host() { return tcp::TcpConfig{}; }
+
+tcp::TcpConfig naive_host() {
+    tcp::TcpConfig c;
+    c.adaptive_rto = false;
+    c.fixed_rto = sim::seconds(1);
+    c.congestion_control = false;
+    c.fast_retransmit = false;
+    return c;
+}
+
+struct Outcome {
+    double goodput_a_kbps;
+    double goodput_b_kbps;
+    double waste_pct;  // retransmitted bytes / first-transmission bytes
+    double util_pct;   // bottleneck utilization by useful data
+};
+
+Outcome run(const tcp::TcpConfig& cfg_a, const tcp::TcpConfig& cfg_b) {
+    core::Internetwork net(6006);
+    core::Host& src_a = net.add_host("srcA");
+    core::Host& src_b = net.add_host("srcB");
+    core::Host& dst = net.add_host("dst");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+
+    link::LinkParams bottleneck = link::presets::leased_line();
+    bottleneck.bits_per_second = 512'000;
+    bottleneck.queue_capacity_packets = 16;
+    net.connect(src_a, g1, link::presets::ethernet_hop());
+    net.connect(src_b, g1, link::presets::ethernet_hop());
+    net.connect(g1, g2, bottleneck);
+    net.connect(g2, dst, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    constexpr auto kRun = sim::seconds(120);
+    app::BulkServer server_a(dst, 21, cfg_a);
+    app::BulkServer server_b(dst, 22, cfg_b);
+    app::BulkSender a(src_a, dst.address(), 21, 512ull * 1024 * 1024, cfg_a);
+    app::BulkSender b(src_b, dst.address(), 22, 512ull * 1024 * 1024, cfg_b);
+    a.start();
+    b.start();
+    net.run_for(kRun);
+
+    Outcome out;
+    out.goodput_a_kbps =
+        static_cast<double>(server_a.total_bytes_received()) * 8 / 1000 / kRun.seconds();
+    out.goodput_b_kbps =
+        static_cast<double>(server_b.total_bytes_received()) * 8 / 1000 / kRun.seconds();
+    const auto& sa = a.socket_stats();
+    const auto& sb = b.socket_stats();
+    const double first = static_cast<double>(sa.bytes_sent + sb.bytes_sent);
+    const double redo = static_cast<double>(sa.retransmitted_bytes + sb.retransmitted_bytes);
+    out.waste_pct = first > 0 ? 100.0 * redo / (first + redo) : 0;
+    out.util_pct = (out.goodput_a_kbps + out.goodput_b_kbps) / 512.0 * 100.0;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    banner("E6 — implementation quality of the host transport",
+           "the architecture pushes reliability into hosts; a host that "
+           "implements it poorly mostly hurts its own performance, and a "
+           "population of such hosts wastes the network (the congestion-"
+           "collapse scenario that motivated Jacobson's algorithms)");
+
+    std::printf("[two senders share a 512 kbit/s bottleneck for 120 s]\n");
+    Table t({"sender A / sender B", "A goodput kb/s", "B goodput kb/s",
+             "wire waste %", "useful util %"});
+    const auto gg = run(good_host(), good_host());
+    t.row({"good / good", fmt(gg.goodput_a_kbps, 0), fmt(gg.goodput_b_kbps, 0),
+           fmt(gg.waste_pct, 1), fmt(gg.util_pct, 1)});
+    const auto gn = run(good_host(), naive_host());
+    t.row({"good / NAIVE", fmt(gn.goodput_a_kbps, 0), fmt(gn.goodput_b_kbps, 0),
+           fmt(gn.waste_pct, 1), fmt(gn.util_pct, 1)});
+    const auto nn = run(naive_host(), naive_host());
+    t.row({"NAIVE / NAIVE", fmt(nn.goodput_a_kbps, 0), fmt(nn.goodput_b_kbps, 0),
+           fmt(nn.waste_pct, 1), fmt(nn.util_pct, 1)});
+    t.print();
+
+    verdict(
+        "two good hosts split the link cleanly with negligible waste. A "
+        "naive host opposite a good one mostly damages itself (its fixed "
+        "timer and missing congestion control keep its goodput low) while "
+        "degrading the shared queue; two naive hosts drive waste up and "
+        "useful utilization down — a miniature of the 1986 congestion "
+        "collapse the paper alludes to, and the reason host implementation "
+        "quality is an architectural concern.");
+    return 0;
+}

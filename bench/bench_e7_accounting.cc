@@ -1,0 +1,130 @@
+// E7 — Accountability (the paper's goal #7, "placed nearly last").
+//
+// Claim: "the Internet architecture ... provides poor tools for
+// accounting for packet flows"; gateways see datagrams, not conversations.
+// The flows-and-soft-state idea sketched in the paper's closing section is
+// what makes gateway-grain accounting possible: classify packets into
+// flows and keep soft per-flow counters.
+//
+// Setup: a gateway with a flow table forwards a known mixture of UDP and
+// TCP conversations. We compare the gateway's books against ground truth,
+// and measure the two ways they inevitably diverge: wire bytes vs
+// application bytes (headers), and retransmissions (charged by the
+// network, sent once by the application).
+#include <chrono>
+
+#include "app/bulk.h"
+#include "common.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+
+using namespace catenet;
+using namespace catenet::bench;
+
+int main() {
+    banner("E7 — accounting for packet flows at a gateway",
+           "the datagram layer has no notion of a conversation; per-flow "
+           "soft state in gateways yields usable books, but the meter "
+           "counts wire bytes and retransmissions, not application bytes");
+
+    core::Internetwork net(7007);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    core::Gateway& g = net.add_gateway("g");
+    link::LinkParams right = link::presets::ethernet_hop();
+    right.drop_probability = 0.02;  // force some TCP retransmissions
+    net.connect(a, g, link::presets::ethernet_hop());
+    net.connect(g, b, right);
+    net.use_static_routes();
+    auto& flows = g.enable_flow_accounting(sim::seconds(30));
+
+    // Ground truth: two paced UDP streams and one TCP transfer.
+    auto rx1 = b.udp().bind(1000);
+    rx1->set_handler([](auto, auto, auto) {});
+    auto rx2 = b.udp().bind(2000);
+    rx2->set_handler([](auto, auto, auto) {});
+    auto tx1 = a.udp().bind_ephemeral();
+    auto tx2 = a.udp().bind_ephemeral();
+    tx2->set_tos(0x10);
+
+    constexpr int kUdp1Packets = 500;   // 200-byte payloads
+    constexpr int kUdp2Packets = 250;   // 1000-byte payloads
+    sim::PeriodicTimer pacer1(net.sim(), [&, n = 0]() mutable {
+        if (n++ < kUdp1Packets) tx1->send_to(b.address(), 1000, util::ByteBuffer(200, 1));
+    });
+    sim::PeriodicTimer pacer2(net.sim(), [&, n = 0]() mutable {
+        if (n++ < kUdp2Packets) tx2->send_to(b.address(), 2000, util::ByteBuffer(1000, 2));
+    });
+    pacer1.start(sim::milliseconds(20));
+    pacer2.start(sim::milliseconds(40));
+
+    constexpr std::uint64_t kTcpBytes = 2ull * 1024 * 1024;
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, kTcpBytes);
+    sender.start();
+
+    net.run_for(sim::seconds(25));
+    pacer1.stop();
+    pacer2.stop();
+
+    std::printf("[gateway books after 25 s, vs ground truth]\n");
+    Table t({"flow (proto/tos)", "gw packets", "gw bytes", "truth app bytes",
+             "meter/app ratio"});
+    for (const auto& [key, rec] : flows.flows()) {
+        std::string label = key.protocol == 17 ? "UDP" : key.protocol == 6 ? "TCP" : "?";
+        label += "/tos=" + std::to_string(key.tos);
+        std::uint64_t truth = 0;
+        if (key.protocol == 17 && key.tos == 0) truth = 500ull * 200;
+        if (key.protocol == 17 && key.tos == 0x10) truth = 250ull * 1000;
+        if (key.protocol == 6 && key.src == a.address().value()) truth = kTcpBytes;
+        if (truth == 0) continue;  // reverse-direction ACK flow etc.
+        t.row({label, fmt_u(rec.packets), fmt_u(rec.bytes), fmt_u(truth),
+               fmt(static_cast<double>(rec.bytes) / static_cast<double>(truth), 3)});
+    }
+    t.print();
+    std::printf("\nflows tracked: %zu (incl. reverse ACK flows); created %llu, "
+                "expired %llu — state is soft and self-limiting\n",
+                flows.active_flows(),
+                static_cast<unsigned long long>(flows.stats().flows_created),
+                static_cast<unsigned long long>(flows.stats().flows_expired));
+    std::printf("TCP retransmitted %llu bytes: the network meter bills them, the "
+                "application sent them once\n",
+                static_cast<unsigned long long>(
+                    sender.socket_stats().retransmitted_bytes));
+
+    // Classifier cost (wall clock): the per-packet price of accounting.
+    {
+        ip::Ipv4Header h;
+        h.protocol = 6;
+        h.src = util::Ipv4Address(10, 0, 0, 1);
+        h.dst = util::Ipv4Address(10, 0, 1, 1);
+        util::BufferWriter tp;
+        tp.put_u16(1234);
+        tp.put_u16(80);
+        tp.put_zero(16);
+        const auto wire = ip::encode_datagram(h, tp.data());
+        constexpr int kIters = 2'000'000;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t sink = 0;
+        for (int i = 0; i < kIters; ++i) {
+            auto key = core::classify_packet(wire);
+            sink += key ? key->hash() : 0;
+        }
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        const double ns =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()) /
+            kIters;
+        std::printf("\nclassifier cost: %.1f ns/packet (checksum+parse+hash; sink=%llx)\n",
+                    ns, static_cast<unsigned long long>(sink & 0xf));
+    }
+
+    verdict(
+        "per-flow soft state gives the gateway accurate packet counts per "
+        "conversation at sub-microsecond per-packet cost, but what it "
+        "meters is wire bytes — headers inflate small-packet flows and "
+        "retransmissions are billed although the user sent them once. "
+        "Exactly the paper's complaint: the architecture accounts for "
+        "datagrams, while 'accounting must be done at the flow level'.");
+    return 0;
+}

@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark): the per-packet costs of the fast
+// paths — checksums, header codecs, queue disciplines, flow classification
+// and the event engine. These bound the simulated-packets-per-second the
+// experiment harness can push and document the cost of each mechanism.
+#include <benchmark/benchmark.h>
+
+#include "core/flow.h"
+#include "ip/ipv4_header.h"
+#include "ip/protocols.h"
+#include "link/queue.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_header.h"
+#include "udp/udp.h"
+#include "util/checksum.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace catenet;
+
+util::ByteBuffer random_buffer(std::size_t size, std::uint64_t seed) {
+    util::Rng rng(seed);
+    util::ByteBuffer buf(size);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    return buf;
+}
+
+void BM_InternetChecksum(benchmark::State& state) {
+    const auto buf = random_buffer(static_cast<std::size_t>(state.range(0)), 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(util::internet_checksum(buf));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(576)->Arg(1500)->Arg(65536);
+
+void BM_Ipv4Encode(benchmark::State& state) {
+    ip::Ipv4Header h;
+    h.protocol = ip::kProtoTcp;
+    h.src = util::Ipv4Address(10, 0, 0, 1);
+    h.dst = util::Ipv4Address(10, 0, 1, 2);
+    const auto payload = random_buffer(static_cast<std::size_t>(state.range(0)), 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ip::encode_datagram(h, payload));
+    }
+}
+BENCHMARK(BM_Ipv4Encode)->Arg(0)->Arg(512)->Arg(1460);
+
+void BM_Ipv4Decode(benchmark::State& state) {
+    ip::Ipv4Header h;
+    h.protocol = ip::kProtoTcp;
+    const auto wire =
+        ip::encode_datagram(h, random_buffer(static_cast<std::size_t>(state.range(0)), 3));
+    for (auto _ : state) {
+        ip::DecodedDatagram d;
+        benchmark::DoNotOptimize(ip::decode_datagram(wire, d));
+    }
+}
+BENCHMARK(BM_Ipv4Decode)->Arg(0)->Arg(512)->Arg(1460);
+
+void BM_TcpEncode(benchmark::State& state) {
+    tcp::TcpHeader h;
+    h.src_port = 1234;
+    h.dst_port = 80;
+    h.flags.ack = true;
+    const util::Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 2);
+    const auto payload = random_buffer(static_cast<std::size_t>(state.range(0)), 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tcp::encode_tcp(h, src, dst, payload));
+    }
+}
+BENCHMARK(BM_TcpEncode)->Arg(0)->Arg(536)->Arg(1460);
+
+void BM_UdpRoundTrip(benchmark::State& state) {
+    const util::Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 2);
+    const auto payload = random_buffer(160, 5);
+    for (auto _ : state) {
+        const auto wire = udp::encode_udp(udp::UdpHeader{5004, 5004}, src, dst, payload);
+        std::span<const std::uint8_t> out;
+        benchmark::DoNotOptimize(udp::decode_udp(src, dst, wire, out));
+    }
+}
+BENCHMARK(BM_UdpRoundTrip);
+
+void BM_FlowClassify(benchmark::State& state) {
+    ip::Ipv4Header h;
+    h.protocol = ip::kProtoTcp;
+    h.src = util::Ipv4Address(10, 0, 0, 1);
+    h.dst = util::Ipv4Address(10, 0, 1, 2);
+    util::BufferWriter tp;
+    tp.put_u16(1234);
+    tp.put_u16(80);
+    tp.put_zero(16);
+    const auto wire = ip::encode_datagram(h, tp.data());
+    for (auto _ : state) {
+        auto key = core::classify_packet(wire);
+        benchmark::DoNotOptimize(key);
+    }
+}
+BENCHMARK(BM_FlowClassify);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+    sim::Simulator sim;
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        sim.schedule_at(sim::Time(++t), [] {});
+        sim.step();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueDeepBacklog(benchmark::State& state) {
+    // Schedule/fire with a standing backlog, the realistic regime.
+    sim::Simulator sim;
+    std::int64_t t = 0;
+    for (int i = 0; i < 10000; ++i) {
+        sim.schedule_at(sim::Time(1'000'000'000 + i), [] {});
+    }
+    for (auto _ : state) {
+        sim.schedule_at(sim::Time(++t), [] {});
+        sim.step();
+    }
+}
+BENCHMARK(BM_EventQueueDeepBacklog);
+
+void BM_DropTailQueue(benchmark::State& state) {
+    link::DropTailQueue q(1024);
+    const auto payload = random_buffer(1500, 6);
+    for (auto _ : state) {
+        link::Packet p;
+        p.bytes = payload;
+        q.enqueue(std::move(p));
+        benchmark::DoNotOptimize(q.dequeue());
+    }
+}
+BENCHMARK(BM_DropTailQueue);
+
+void BM_FairQueue(benchmark::State& state) {
+    // Distinct flows hashed from a rotating counter.
+    std::uint64_t counter = 0;
+    link::FairQueue q(64, 1500, [&counter](const link::Packet&) {
+        return counter % 16;
+    });
+    const auto payload = random_buffer(1500, 7);
+    for (auto _ : state) {
+        ++counter;
+        link::Packet p;
+        p.bytes = payload;
+        q.enqueue(std::move(p));
+        benchmark::DoNotOptimize(q.dequeue());
+    }
+}
+BENCHMARK(BM_FairQueue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Shared helpers for the experiment benchmarks: aligned table printing,
+// progress/stall tracking, and fairness metrics. Every bench_eN binary
+// prints (1) the paper's claim, (2) a table of measurements, (3) the
+// observed verdict, so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace catenet::bench {
+
+/// Fixed-width table writer for bench output.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    Table& row(std::vector<std::string> cells) {
+        rows_.push_back(std::move(cells));
+        return *this;
+    }
+
+    void print() const {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+        for (const auto& r : rows_) {
+            for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+                width[i] = std::max(width[i], r[i].size());
+            }
+        }
+        auto print_row = [&](const std::vector<std::string>& cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                std::printf("%-*s  ", static_cast<int>(width[i]), cells[i].c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::string rule;
+        for (std::size_t i = 0; i < headers_.size(); ++i) {
+            rule += std::string(width[i], '-') + "  ";
+        }
+        std::printf("%s\n", rule.c_str());
+        for (const auto& r : rows_) print_row(r);
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+inline void banner(const char* experiment, const char* claim) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper claim: %s\n", claim);
+    std::printf("==============================================================\n\n");
+}
+
+inline void verdict(const char* text) { std::printf("\nverdict: %s\n\n", text); }
+
+/// Samples a byte counter periodically and reports the longest interval
+/// with zero progress (the user-visible "stall" after a failure).
+class StallTracker {
+public:
+    /// `target`: measurement stops once progress reaches it (so idle time
+    /// after completion is not mistaken for a stall). 0 = never stop.
+    StallTracker(sim::Simulator& sim, std::function<std::uint64_t()> progress,
+                 std::uint64_t target = 0,
+                 sim::Time sample_period = sim::milliseconds(100))
+        : progress_(std::move(progress)),
+          target_(target),
+          timer_(sim, [this, &sim] { sample(sim.now()); }) {
+        timer_.start(sample_period);
+    }
+
+    sim::Time longest_stall() const noexcept { return longest_; }
+
+private:
+    void sample(sim::Time now) {
+        const std::uint64_t current = progress_();
+        if (!started_ && current > 0) {
+            started_ = true;
+            last_progress_at_ = now;
+        }
+        if (!started_) return;
+        if (current > last_value_) {
+            last_value_ = current;
+            last_progress_at_ = now;
+        } else {
+            longest_ = std::max(longest_, now - last_progress_at_);
+        }
+        if (target_ != 0 && current >= target_) timer_.stop();
+    }
+
+    std::function<std::uint64_t()> progress_;
+    std::uint64_t target_ = 0;
+    sim::PeriodicTimer timer_;
+    std::uint64_t last_value_ = 0;
+    sim::Time last_progress_at_;
+    sim::Time longest_;
+    bool started_ = false;
+};
+
+/// Jain's fairness index over per-flow throughputs: 1.0 = perfectly fair.
+inline double jain_index(const std::vector<double>& xs) {
+    double sum = 0, sum_sq = 0;
+    for (double x : xs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0) return 0;
+    return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace catenet::bench

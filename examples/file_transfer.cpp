@@ -1,0 +1,86 @@
+// File transfer across a heterogeneous internet — the paper's goal 3 in
+// one program. The same TCP moves a 1 MiB "file" over four wildly
+// different network paths (Ethernet, 56k leased line, satellite, packet
+// radio) with zero changes above the IP layer, and reports what each
+// path felt like.
+//
+// Build & run:   ./build/examples/file_transfer
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/bulk.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+
+using namespace catenet;
+
+namespace {
+
+struct PathResult {
+    std::string technology;
+    double seconds;
+    double goodput_kbps;
+    std::uint64_t retransmissions;
+    double srtt_ms;
+};
+
+PathResult run_path(const std::string& name, const link::LinkParams& params,
+                    std::uint64_t bytes) {
+    core::Internetwork net(7);
+    core::Host& src = net.add_host("src");
+    core::Host& dst = net.add_host("dst");
+    core::Gateway& gw = net.add_gateway("gw");
+    // First hop is always a local Ethernet; the second is the technology
+    // under test — the classic "LAN to long-haul" shape.
+    net.connect(src, gw, link::presets::ethernet_hop());
+    net.connect(gw, dst, params);
+    net.use_static_routes();
+
+    app::BulkServer server(dst, 21);
+    app::BulkSender sender(src, dst.address(), 21, bytes);
+    sender.start();
+    net.run_for(sim::seconds(3600));
+
+    PathResult r;
+    r.technology = name;
+    if (sender.finished()) {
+        r.seconds = (sender.finish_time() - sender.start_time()).seconds();
+        r.goodput_kbps = sender.throughput_bps() / 1000.0;
+    } else {
+        r.seconds = -1;
+        r.goodput_kbps = 0;
+    }
+    r.retransmissions = sender.socket_stats().retransmitted_segments;
+    r.srtt_ms = sender.socket_stats().srtt_ms;
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::uint64_t kFileBytes = 1024 * 1024;
+    std::printf("Transferring a %llu-byte file over four network technologies\n",
+                static_cast<unsigned long long>(kFileBytes));
+    std::printf("(same TCP, same IP, no per-network tuning — goal 3)\n\n");
+
+    std::vector<PathResult> results;
+    results.push_back(run_path("ethernet 10M", link::presets::ethernet_hop(), kFileBytes));
+    results.push_back(run_path("satellite T1", link::presets::satellite(), kFileBytes));
+    results.push_back(
+        run_path("packet radio", link::presets::packet_radio(), kFileBytes / 8));
+    results.push_back(
+        run_path("leased 56k", link::presets::leased_line(), kFileBytes / 8));
+
+    std::printf("%-14s %12s %14s %10s %10s\n", "technology", "time (s)",
+                "goodput kb/s", "rexmits", "srtt ms");
+    for (const auto& r : results) {
+        std::printf("%-14s %12.2f %14.1f %10llu %10.1f\n", r.technology.c_str(),
+                    r.seconds, r.goodput_kbps,
+                    static_cast<unsigned long long>(r.retransmissions), r.srtt_ms);
+    }
+    std::printf("\n(the two slow paths carry a %llu-byte file so the demo "
+                "finishes quickly)\n",
+                static_cast<unsigned long long>(kFileBytes / 8));
+    return 0;
+}

@@ -1,0 +1,91 @@
+#include "app/bulk.h"
+
+#include <algorithm>
+
+namespace catenet::app {
+
+BulkServer::BulkServer(core::Host& host, std::uint16_t port, const tcp::TcpConfig& config)
+    : host_(host) {
+    host_.tcp().listen(
+        port,
+        [this](std::shared_ptr<tcp::TcpSocket> socket) {
+            auto conn = std::make_shared<Conn>();
+            conn->socket = socket;
+            conns_.push_back(conn);
+            socket->on_data = [this, conn](std::span<const std::uint8_t> data) {
+                for (const auto byte : data) {
+                    if (byte != static_cast<std::uint8_t>(conn->offset & 0xff)) {
+                        ++pattern_errors_;
+                    }
+                    ++conn->offset;
+                }
+                bytes_ += data.size();
+            };
+            socket->on_remote_close = [conn] {
+                // Sender finished: close our half too.
+                conn->socket->close();
+            };
+            socket->on_closed = [this] { ++completed_; };
+        },
+        config);
+}
+
+BulkSender::BulkSender(core::Host& host, util::Ipv4Address dst, std::uint16_t port,
+                       std::uint64_t total_bytes, const tcp::TcpConfig& config)
+    : host_(host), dst_(dst), port_(port), total_bytes_(total_bytes), config_(config) {}
+
+void BulkSender::start() {
+    if (started_) return;
+    started_ = true;
+    start_time_ = host_.simulator().now();
+    socket_ = host_.tcp().connect(dst_, port_, config_);
+    socket_->on_connected = [this] { pump(); };
+    socket_->on_send_space = [this] { pump(); };
+    // The receiver closes its half after seeing our FIN; by the time that
+    // FIN reaches us, every data byte has been acknowledged. (Waiting for
+    // on_closed would add the full TIME-WAIT to the measurement.)
+    socket_->on_remote_close = [this] { note_done(); };
+    socket_->on_closed = [this] { note_done(); };
+    socket_->on_reset = [this] {
+        if (!finished_) failed_ = true;
+    };
+}
+
+void BulkSender::pump() {
+    // Keep the socket's buffer full in bounded chunks.
+    std::uint8_t chunk[4096];
+    while (sent_offset_ < total_bytes_) {
+        const std::size_t want =
+            std::min<std::uint64_t>(sizeof(chunk), total_bytes_ - sent_offset_);
+        for (std::size_t i = 0; i < want; ++i) {
+            chunk[i] = static_cast<std::uint8_t>((sent_offset_ + i) & 0xff);
+        }
+        const std::size_t accepted =
+            socket_->send(std::span<const std::uint8_t>(chunk, want));
+        sent_offset_ += accepted;
+        if (accepted < want) break;  // buffer full; resume on_send_space
+    }
+    if (sent_offset_ >= total_bytes_) {
+        socket_->close();
+    }
+}
+
+void BulkSender::note_done() {
+    if (finished_ || failed_) return;
+    if (sent_offset_ >= total_bytes_) {
+        finished_ = true;
+        finish_time_ = host_.simulator().now();
+        if (on_complete) on_complete();
+    } else {
+        failed_ = true;
+    }
+}
+
+double BulkSender::throughput_bps() const {
+    if (!finished_) return 0.0;
+    const auto elapsed = finish_time_ - start_time_;
+    if (elapsed.nanos() <= 0) return 0.0;
+    return static_cast<double>(total_bytes_) * 8.0 / elapsed.seconds();
+}
+
+}  // namespace catenet::app

@@ -1,0 +1,79 @@
+// Bulk file transfer over TCP — the paper's canonical "reliable,
+// throughput-oriented" type of service (FTP in 1988). The sender keeps the
+// socket's send buffer full; the receiver counts bytes and verifies the
+// pattern. Used by the survivability (E1), service-type (E2), network-
+// variety (E3) and host-burden (E6) experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/node.h"
+
+namespace catenet::app {
+
+/// Accepts connections and consumes/validates a deterministic byte
+/// pattern, byte i of the stream being (i & 0xff).
+class BulkServer {
+public:
+    BulkServer(core::Host& host, std::uint16_t port, const tcp::TcpConfig& config = {});
+
+    std::uint64_t total_bytes_received() const noexcept { return bytes_; }
+    std::uint64_t connections_completed() const noexcept { return completed_; }
+    std::uint64_t pattern_errors() const noexcept { return pattern_errors_; }
+
+private:
+    struct Conn {
+        std::shared_ptr<tcp::TcpSocket> socket;
+        std::uint64_t offset = 0;
+    };
+
+    core::Host& host_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t pattern_errors_ = 0;
+};
+
+/// Sends `total_bytes` of the pattern, then closes. Completion time and
+/// delivery are observable; on_complete fires when the peer acknowledges
+/// everything (socket fully closed).
+class BulkSender {
+public:
+    BulkSender(core::Host& host, util::Ipv4Address dst, std::uint16_t port,
+               std::uint64_t total_bytes, const tcp::TcpConfig& config = {});
+
+    void start();
+
+    bool finished() const noexcept { return finished_; }
+    bool failed() const noexcept { return failed_; }
+    sim::Time start_time() const noexcept { return start_time_; }
+    sim::Time finish_time() const noexcept { return finish_time_; }
+    double throughput_bps() const;
+    std::uint64_t bytes_queued() const noexcept { return sent_offset_; }
+    const tcp::TcpSocketStats& socket_stats() const { return socket_->stats(); }
+    tcp::TcpSocket& socket() noexcept { return *socket_; }
+
+    std::function<void()> on_complete;
+
+private:
+    void pump();
+    void note_done();
+
+    core::Host& host_;
+    util::Ipv4Address dst_;
+    std::uint16_t port_;
+    std::uint64_t total_bytes_;
+    tcp::TcpConfig config_;
+    std::shared_ptr<tcp::TcpSocket> socket_;
+    std::uint64_t sent_offset_ = 0;
+    sim::Time start_time_;
+    sim::Time finish_time_;
+    bool started_ = false;
+    bool finished_ = false;
+    bool failed_ = false;
+};
+
+}  // namespace catenet::app

@@ -1,0 +1,72 @@
+#include "app/interactive.h"
+
+namespace catenet::app {
+
+EchoServer::EchoServer(core::Host& host, std::uint16_t port, const tcp::TcpConfig& config)
+    : host_(host) {
+    // An echo server is the canonical TCP_NODELAY application: batching an
+    // echo behind an unacknowledged one adds a full RTT for nothing.
+    tcp::TcpConfig echo_config = config;
+    echo_config.nagle = false;
+    host_.tcp().listen(
+        port,
+        [this](std::shared_ptr<tcp::TcpSocket> socket) {
+            conns_.push_back(socket);
+            auto* raw = socket.get();
+            socket->on_data = [this, raw](std::span<const std::uint8_t> data) {
+                bytes_ += data.size();
+                raw->send(data);
+                raw->push();  // echo immediately; interactivity beats batching
+            };
+            socket->on_remote_close = [raw] { raw->close(); };
+        },
+        echo_config);
+}
+
+InteractiveClient::InteractiveClient(core::Host& host, util::Ipv4Address dst,
+                                     std::uint16_t port, InteractiveConfig config)
+    : host_(host),
+      dst_(dst),
+      port_(port),
+      config_(config),
+      key_timer_(host.simulator(), [this] { type_next(); }) {}
+
+void InteractiveClient::start() {
+    running_ = true;
+    socket_ = host_.tcp().connect(dst_, port_, config_.tcp);
+    socket_->on_connected = [this] { schedule_next(); };
+    socket_->on_data = [this](std::span<const std::uint8_t> data) {
+        const sim::Time now = host_.simulator().now();
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            if (pending_sends_.empty()) break;
+            const sim::Time sent_at = pending_sends_.front();
+            pending_sends_.erase(pending_sends_.begin());
+            rtts_.add((now - sent_at).millis());
+            ++received_;
+        }
+    };
+}
+
+void InteractiveClient::stop() {
+    running_ = false;
+    key_timer_.cancel();
+    if (socket_) socket_->close();
+}
+
+void InteractiveClient::schedule_next() {
+    if (!running_) return;
+    key_timer_.schedule(
+        sim::from_seconds(host_.rng().exponential(config_.mean_interkey.seconds())));
+}
+
+void InteractiveClient::type_next() {
+    if (!running_ || !socket_ || !socket_->connected()) return;
+    const std::uint8_t key = 'k';
+    pending_sends_.push_back(host_.simulator().now());
+    socket_->send(std::span<const std::uint8_t>(&key, 1));
+    socket_->push();
+    ++sent_;
+    schedule_next();
+}
+
+}  // namespace catenet::app

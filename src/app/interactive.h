@@ -1,0 +1,65 @@
+// Remote login — the paper's canonical "low delay, small packets" type of
+// service (telnet in 1988). A client types characters at random intervals;
+// the server echoes each one; the client records keystroke-to-echo round
+// trips. Latency percentiles under competing bulk traffic are the E2
+// service-type measurement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/node.h"
+#include "util/stats.h"
+
+namespace catenet::app {
+
+/// TCP echo server: every received byte is written straight back.
+class EchoServer {
+public:
+    EchoServer(core::Host& host, std::uint16_t port, const tcp::TcpConfig& config = {});
+
+    std::uint64_t bytes_echoed() const noexcept { return bytes_; }
+
+private:
+    core::Host& host_;
+    std::vector<std::shared_ptr<tcp::TcpSocket>> conns_;
+    std::uint64_t bytes_ = 0;
+};
+
+struct InteractiveConfig {
+    sim::Time mean_interkey = sim::milliseconds(300);  ///< exponential
+    tcp::TcpConfig tcp;
+};
+
+/// Simulated typist measuring per-keystroke echo RTT.
+class InteractiveClient {
+public:
+    InteractiveClient(core::Host& host, util::Ipv4Address dst, std::uint16_t port,
+                      InteractiveConfig config = {});
+
+    void start();
+    void stop();
+
+    const util::Percentiles& echo_rtts_ms() const noexcept { return rtts_; }
+    std::uint64_t keystrokes_sent() const noexcept { return sent_; }
+    std::uint64_t echoes_received() const noexcept { return received_; }
+
+private:
+    void type_next();
+    void schedule_next();
+
+    core::Host& host_;
+    util::Ipv4Address dst_;
+    std::uint16_t port_;
+    InteractiveConfig config_;
+    std::shared_ptr<tcp::TcpSocket> socket_;
+    sim::Timer key_timer_;
+    std::vector<sim::Time> pending_sends_;  ///< send time per outstanding echo
+    util::Percentiles rtts_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+    bool running_ = false;
+};
+
+}  // namespace catenet::app

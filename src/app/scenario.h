@@ -1,0 +1,84 @@
+// Scenario description language: build and run an internetwork from a
+// small text format, so experiments can be sketched without writing C++.
+// Used by the `run_scenario` example binary and scriptable benchmarks.
+//
+//   # comment                      (blank lines ignored)
+//   host alice
+//   host bob
+//   gateway g1
+//   gateway g2
+//   lan office                     # shared Ethernet segment
+//   attach alice office
+//   attach g1 office
+//   link g1 g2 satellite           # technologies: ethernet, leased56k,
+//   link g2 bob ethernet loss=0.01 #   satellite, radio, serial1200, x25
+//   routing dv                     # or: routing static
+//   transfer alice bob 1M          # bulk TCP (K/M suffixes)
+//   voice alice bob 30s            # CBR voice over UDP
+//   echo bob                       # echo server (for interactive below)
+//   interactive alice bob 60s      # typist with RTT measurement
+//   fail g1 at 20s for 5s          # crash/restore a node mid-run
+//   queue g1 g2 fair               # egress discipline at g1 toward g2:
+//                                  #   fair (DRR by flow) or priority (ToS)
+//   run 120s
+//
+// `run` executes everything and is required last. Link options:
+// loss=<fraction>, rate=<bits/s>, delay=<ms>, mtu=<bytes>.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/bulk.h"
+#include "app/interactive.h"
+#include "app/voice.h"
+#include "core/internetwork.h"
+
+namespace catenet::app {
+
+/// Outcome of one scenario run, for programmatic checks and printing.
+struct ScenarioReport {
+    struct Transfer {
+        std::string src, dst;
+        std::uint64_t bytes;
+        bool completed;
+        double seconds;
+        double goodput_bps;
+        std::uint64_t retransmits;
+    };
+    struct Voice {
+        std::string src, dst;
+        app::VoiceReport report;
+    };
+    struct Interactive {
+        std::string src, dst;
+        std::uint64_t keystrokes;
+        std::uint64_t echoes;
+        double rtt_p50_ms;
+        double rtt_p99_ms;
+    };
+
+    double simulated_seconds = 0;
+    std::uint64_t events = 0;
+    std::uint64_t total_link_bytes = 0;
+    std::vector<Transfer> transfers;
+    std::vector<Voice> voices;
+    std::vector<Interactive> interactives;
+
+    void print(std::ostream& os) const;
+};
+
+/// Parse error with a line number.
+class ScenarioError : public std::runtime_error {
+public:
+    ScenarioError(int line, const std::string& what)
+        : std::runtime_error("line " + std::to_string(line) + ": " + what) {}
+};
+
+/// Parses and runs a scenario; throws ScenarioError on bad input.
+ScenarioReport run_scenario(const std::string& text, std::uint64_t seed = 1);
+
+}  // namespace catenet::app

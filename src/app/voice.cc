@@ -1,0 +1,156 @@
+#include "app/voice.h"
+
+#include <cmath>
+
+namespace catenet::app {
+
+namespace {
+
+// Frame wire format: seq(4) timestamp_ns(8) padding to frame_bytes.
+constexpr std::size_t kVoiceHeader = 12;
+
+util::ByteBuffer encode_voice_frame(std::uint32_t seq, sim::Time now, std::size_t size) {
+    util::BufferWriter w(size);
+    w.put_u32(seq);
+    w.put_u64(static_cast<std::uint64_t>(now.nanos()));
+    if (size > kVoiceHeader) w.put_zero(size - kVoiceHeader);
+    return w.take();
+}
+
+}  // namespace
+
+void VoiceSink::on_frame(std::uint32_t seq, sim::Time sent_at, sim::Time now) {
+    (void)seq;
+    ++received_;
+    const sim::Time latency = now - sent_at;
+    latencies_ms_.add(latency.millis());
+    if (latency > config_.playout_delay) ++late_;
+    if (have_last_) {
+        const double gap_ms = (now - last_arrival_).millis();
+        jitter_ms_.add(std::abs(gap_ms - config_.frame_interval.millis()));
+    }
+    have_last_ = true;
+    last_arrival_ = now;
+}
+
+VoiceReport VoiceSink::report(std::uint64_t frames_sent) const {
+    VoiceReport r;
+    r.frames_sent = frames_sent;
+    r.frames_received = received_;
+    r.frames_late = late_;
+    r.frames_lost = frames_sent > received_ ? frames_sent - received_ : 0;
+    if (frames_sent > 0) {
+        r.loss_fraction = static_cast<double>(r.frames_lost) /
+                          static_cast<double>(frames_sent);
+        r.usable_fraction = static_cast<double>(received_ - late_) /
+                            static_cast<double>(frames_sent);
+    }
+    r.mean_latency_ms = latencies_ms_.percentile(50.0);
+    r.p95_latency_ms = latencies_ms_.percentile(95.0);
+    r.p99_latency_ms = latencies_ms_.percentile(99.0);
+    r.jitter_ms = jitter_ms_.mean();
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// VoiceOverUdp
+// ---------------------------------------------------------------------------
+
+VoiceOverUdp::VoiceOverUdp(core::Host& sender, core::Host& receiver, std::uint16_t port,
+                           VoiceConfig config)
+    : sender_(sender),
+      config_(config),
+      dst_(receiver.address()),
+      port_(port),
+      sink_(config),
+      frame_timer_(sender.simulator(), [this] { send_frame(); }) {
+    tx_ = sender.udp().bind_ephemeral();
+    tx_->set_tos(config.tos);
+    rx_ = receiver.udp().bind(port);
+    rx_->set_handler([this, &receiver](util::Ipv4Address, std::uint16_t,
+                                       std::span<const std::uint8_t> payload) {
+        if (payload.size() < kVoiceHeader) return;
+        util::BufferReader r(payload);
+        const std::uint32_t seq = r.get_u32();
+        const sim::Time sent_at(static_cast<std::int64_t>(r.get_u64()));
+        sink_.on_frame(seq, sent_at, receiver.simulator().now());
+    });
+}
+
+void VoiceOverUdp::start(sim::Time duration) {
+    stop_at_ = sender_.simulator().now() + duration;
+    frame_timer_.start(config_.frame_interval, /*start_immediately=*/true);
+}
+
+void VoiceOverUdp::send_frame() {
+    if (sender_.simulator().now() >= stop_at_) {
+        frame_timer_.stop();
+        return;
+    }
+    const auto frame =
+        encode_voice_frame(seq_++, sender_.simulator().now(), config_.frame_bytes);
+    tx_->send_to(dst_, port_, frame);
+    ++sent_;
+}
+
+// ---------------------------------------------------------------------------
+// VoiceOverTcp
+// ---------------------------------------------------------------------------
+
+VoiceOverTcp::VoiceOverTcp(core::Host& sender, core::Host& receiver, std::uint16_t port,
+                           VoiceConfig config, tcp::TcpConfig tcp_config)
+    : sender_(sender),
+      receiver_(receiver),
+      config_(config),
+      sink_(config),
+      frame_timer_(sender.simulator(), [this] { send_frame(); }) {
+    // Interactivity settings: batching delay is poison for voice.
+    tcp_config.nagle = false;
+    tcp_config.tos = config.tos;
+    receiver.tcp().listen(port, [this](std::shared_ptr<tcp::TcpSocket> socket) {
+        auto* self = this;
+        socket->on_data = [self, socket](std::span<const std::uint8_t> data) {
+            self->on_bytes(data);
+        };
+    });
+    tx_ = sender.tcp().connect(receiver.address(), port, tcp_config);
+}
+
+void VoiceOverTcp::start(sim::Time duration) {
+    stop_at_ = sender_.simulator().now() + duration;
+    frame_timer_.start(config_.frame_interval, /*start_immediately=*/true);
+}
+
+void VoiceOverTcp::send_frame() {
+    if (sender_.simulator().now() >= stop_at_) {
+        frame_timer_.stop();
+        return;
+    }
+    if (!tx_->connected()) return;  // still handshaking: frame is simply lost
+    const auto frame =
+        encode_voice_frame(seq_++, sender_.simulator().now(), config_.frame_bytes);
+    // The byte stream needs framing: 2-byte length prefix per record.
+    util::BufferWriter w(2 + frame.size());
+    w.put_u16(static_cast<std::uint16_t>(frame.size()));
+    w.put_bytes(frame);
+    tx_->send(w.data());
+    tx_->push();
+    ++sent_;
+}
+
+void VoiceOverTcp::on_bytes(std::span<const std::uint8_t> data) {
+    rx_accum_.insert(rx_accum_.end(), data.begin(), data.end());
+    while (rx_accum_.size() >= 2) {
+        util::BufferReader r(rx_accum_);
+        const std::uint16_t len = r.get_u16();
+        if (rx_accum_.size() < 2u + len) break;
+        if (len >= kVoiceHeader) {
+            const std::uint32_t seq = r.get_u32();
+            const sim::Time sent_at(static_cast<std::int64_t>(r.get_u64()));
+            sink_.on_frame(seq, sent_at, receiver_.simulator().now());
+        }
+        rx_accum_.erase(rx_accum_.begin(), rx_accum_.begin() + 2 + len);
+    }
+}
+
+}  // namespace catenet::app

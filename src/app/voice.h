@@ -1,0 +1,114 @@
+// Packet voice — the paper's third service type, and its sharpest goal-2
+// argument: "it was decided to take the unreliable datagram service and
+// make it available directly" because reliable delivery's retransmission
+// stalls are *worse* than a lost sample for real-time speech. A constant-
+// bit-rate source emits timestamped frames; the sink plays them through a
+// jitter buffer and records latency, jitter, loss and late arrivals.
+// The source can run over UDP (the architecture's answer) or over TCP
+// (the mismatched service) — E2 compares the two.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/node.h"
+#include "util/stats.h"
+
+namespace catenet::app {
+
+struct VoiceConfig {
+    sim::Time frame_interval = sim::milliseconds(20);  ///< 50 packets/s
+    std::size_t frame_bytes = 160;                     ///< 64 kbit/s PCM
+    std::uint8_t tos = 0x10;                           ///< low-delay ToS bit
+    /// Jitter-buffer playout delay: a frame arriving later than
+    /// (send time + playout_delay) is useless ("late").
+    sim::Time playout_delay = sim::milliseconds(150);
+};
+
+struct VoiceReport {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t frames_late = 0;   ///< arrived after their playout time
+    std::uint64_t frames_lost = 0;   ///< never arrived (computed at report time)
+    double loss_fraction = 0.0;
+    double usable_fraction = 0.0;    ///< on-time frames / sent
+    double mean_latency_ms = 0.0;
+    double p95_latency_ms = 0.0;
+    double p99_latency_ms = 0.0;
+    double jitter_ms = 0.0;          ///< mean |delta inter-arrival - interval|
+};
+
+/// Receiving side; works for both transports (frames carry their own
+/// sequence and timestamp).
+class VoiceSink {
+public:
+    explicit VoiceSink(VoiceConfig config) : config_(config) {}
+
+    /// Feed one decoded frame (seq, source timestamp) arriving `now`.
+    void on_frame(std::uint32_t seq, sim::Time sent_at, sim::Time now);
+
+    VoiceReport report(std::uint64_t frames_sent) const;
+
+private:
+    VoiceConfig config_;
+    std::uint64_t received_ = 0;
+    std::uint64_t late_ = 0;
+    util::Percentiles latencies_ms_;
+    util::RunningStats jitter_ms_;
+    bool have_last_ = false;
+    sim::Time last_arrival_;
+};
+
+/// CBR voice over UDP.
+class VoiceOverUdp {
+public:
+    VoiceOverUdp(core::Host& sender, core::Host& receiver, std::uint16_t port,
+                 VoiceConfig config = {});
+
+    void start(sim::Time duration);
+    VoiceReport report() const { return sink_.report(sent_); }
+
+private:
+    void send_frame();
+
+    core::Host& sender_;
+    VoiceConfig config_;
+    std::unique_ptr<udp::UdpSocket> tx_;
+    std::unique_ptr<udp::UdpSocket> rx_;
+    util::Ipv4Address dst_;
+    std::uint16_t port_;
+    VoiceSink sink_;
+    sim::PeriodicTimer frame_timer_;
+    std::uint32_t seq_ = 0;
+    std::uint64_t sent_ = 0;
+    sim::Time stop_at_;
+};
+
+/// The same CBR stream forced through TCP (length-framed records over the
+/// byte stream): what happens when the only service is the reliable one.
+class VoiceOverTcp {
+public:
+    VoiceOverTcp(core::Host& sender, core::Host& receiver, std::uint16_t port,
+                 VoiceConfig config = {}, tcp::TcpConfig tcp_config = {});
+
+    void start(sim::Time duration);
+    VoiceReport report() const { return sink_.report(sent_); }
+
+private:
+    void send_frame();
+    void on_bytes(std::span<const std::uint8_t> data);
+
+    core::Host& sender_;
+    core::Host& receiver_;
+    VoiceConfig config_;
+    std::shared_ptr<tcp::TcpSocket> tx_;
+    VoiceSink sink_;
+    sim::PeriodicTimer frame_timer_;
+    std::uint32_t seq_ = 0;
+    std::uint64_t sent_ = 0;
+    sim::Time stop_at_;
+    util::ByteBuffer rx_accum_;
+};
+
+}  // namespace catenet::app

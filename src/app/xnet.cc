@@ -1,0 +1,191 @@
+#include "app/xnet.h"
+
+namespace catenet::app {
+
+namespace {
+
+// Request wire: tag(4) op(1) addr(4) length(2) [data...]
+// Reply wire:   tag(4) status(1) [data...]
+enum Op : std::uint8_t { kPeek = 1, kPoke = 2, kHalt = 3, kResume = 4 };
+constexpr std::uint8_t kOk = 0;
+constexpr std::uint8_t kBadAddress = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// XnetTarget
+// ---------------------------------------------------------------------------
+
+XnetTarget::XnetTarget(core::Host& host, std::uint16_t port, std::size_t memory_size)
+    : host_(host), memory_(memory_size, 0) {
+    socket_ = host_.udp().bind(port);
+    socket_->set_handler([this](util::Ipv4Address from, std::uint16_t from_port,
+                                std::span<const std::uint8_t> request) {
+        on_request(from, from_port, request);
+    });
+}
+
+void XnetTarget::on_request(util::Ipv4Address from, std::uint16_t from_port,
+                            std::span<const std::uint8_t> request) {
+    try {
+        util::BufferReader r(request);
+        const std::uint32_t tag = r.get_u32();
+        const std::uint8_t op = r.get_u8();
+        const std::uint32_t addr = r.get_u32();
+        const std::uint16_t length = r.get_u16();
+
+        util::BufferWriter reply(5 + length);
+        reply.put_u32(tag);
+
+        switch (op) {
+            case kPeek: {
+                if (std::size_t{addr} + length > memory_.size()) {
+                    reply.put_u8(kBadAddress);
+                    break;
+                }
+                reply.put_u8(kOk);
+                reply.put_bytes(std::span<const std::uint8_t>(&memory_[addr], length));
+                break;
+            }
+            case kPoke: {
+                const auto data = r.remaining();
+                if (std::size_t{addr} + data.size() > memory_.size()) {
+                    reply.put_u8(kBadAddress);
+                    break;
+                }
+                // Idempotent by construction: re-writing the same bytes to
+                // the same addresses is harmless, so duplicated requests
+                // (the retry strategy's price) cost nothing.
+                std::copy(data.begin(), data.end(),
+                          memory_.begin() + static_cast<std::ptrdiff_t>(addr));
+                reply.put_u8(kOk);
+                break;
+            }
+            case kHalt:
+                halted_ = true;
+                reply.put_u8(kOk);
+                break;
+            case kResume:
+                halted_ = false;
+                reply.put_u8(kOk);
+                break;
+            default:
+                reply.put_u8(kBadAddress);
+                break;
+        }
+        ++served_;
+        socket_->send_to(from, from_port, reply.data());
+    } catch (const util::DecodeError&) {
+        // Malformed request: silence (the client will retry).
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XnetDebugger
+// ---------------------------------------------------------------------------
+
+XnetDebugger::XnetDebugger(core::Host& host, util::Ipv4Address target, std::uint16_t port,
+                           sim::Time retry_interval, int max_retries)
+    : host_(host),
+      target_(target),
+      port_(port),
+      retry_interval_(retry_interval),
+      max_retries_(max_retries),
+      retry_timer_(host.simulator(), [this] { on_retry_timer(); }) {
+    socket_ = host_.udp().bind_ephemeral();
+    socket_->set_handler([this](util::Ipv4Address, std::uint16_t,
+                                std::span<const std::uint8_t> reply) {
+        on_reply(reply);
+    });
+}
+
+bool XnetDebugger::issue(util::ByteBuffer request, ResultFn done) {
+    if (pending_done_) return false;  // one at a time
+    pending_request_ = std::move(request);
+    pending_done_ = std::move(done);
+    attempts_ = 0;
+    transmit();
+    return true;
+}
+
+bool XnetDebugger::peek(std::uint32_t addr, std::uint16_t length, ResultFn done) {
+    pending_tag_ = next_tag_++;
+    util::BufferWriter w(11);
+    w.put_u32(pending_tag_);
+    w.put_u8(1);
+    w.put_u32(addr);
+    w.put_u16(length);
+    return issue(w.take(), std::move(done));
+}
+
+bool XnetDebugger::poke(std::uint32_t addr, std::span<const std::uint8_t> data,
+                        ResultFn done) {
+    pending_tag_ = next_tag_++;
+    util::BufferWriter w(11 + data.size());
+    w.put_u32(pending_tag_);
+    w.put_u8(2);
+    w.put_u32(addr);
+    w.put_u16(static_cast<std::uint16_t>(data.size()));
+    w.put_bytes(data);
+    return issue(w.take(), std::move(done));
+}
+
+bool XnetDebugger::halt(ResultFn done) {
+    pending_tag_ = next_tag_++;
+    util::BufferWriter w(11);
+    w.put_u32(pending_tag_);
+    w.put_u8(3);
+    w.put_u32(0);
+    w.put_u16(0);
+    return issue(w.take(), std::move(done));
+}
+
+bool XnetDebugger::resume(ResultFn done) {
+    pending_tag_ = next_tag_++;
+    util::BufferWriter w(11);
+    w.put_u32(pending_tag_);
+    w.put_u8(4);
+    w.put_u32(0);
+    w.put_u16(0);
+    return issue(w.take(), std::move(done));
+}
+
+void XnetDebugger::transmit() {
+    ++attempts_;
+    socket_->send_to(target_, port_, pending_request_);
+    retry_timer_.schedule(retry_interval_);
+}
+
+void XnetDebugger::on_retry_timer() {
+    if (!pending_done_) return;
+    if (attempts_ > max_retries_) {
+        auto done = std::move(pending_done_);
+        pending_done_ = nullptr;
+        XnetResult failed;
+        done(failed);
+        return;
+    }
+    ++retries_;
+    transmit();
+}
+
+void XnetDebugger::on_reply(std::span<const std::uint8_t> reply) {
+    if (!pending_done_) return;
+    try {
+        util::BufferReader r(reply);
+        const std::uint32_t tag = r.get_u32();
+        if (tag != pending_tag_) return;  // stale duplicate: ignore
+        const std::uint8_t status = r.get_u8();
+        retry_timer_.cancel();
+        auto done = std::move(pending_done_);
+        pending_done_ = nullptr;
+        XnetResult result;
+        result.ok = status == 0;
+        const auto rest = r.remaining();
+        result.data.assign(rest.begin(), rest.end());
+        done(result);
+    } catch (const util::DecodeError&) {
+    }
+}
+
+}  // namespace catenet::app

@@ -1,0 +1,91 @@
+// XNET — the cross-Internet debugger the paper cites by name as a service
+// that *cannot* ride on TCP: "it did not seem natural to reconstruct [a
+// debugger] out of a reliable stream... if the target machine is
+// misbehaving, reliable communication may be impossible; the debugger
+// must function in the face of packet loss" (paraphrasing §types of
+// service). So it runs on bare datagrams: every request is idempotent
+// (peek/poke absolute addresses, halt, continue), the client retries on
+// its own timer, and duplicate replies are harmless.
+//
+// The "target machine" is a simulated memory image whose host may be
+// crashing and restarting — which is exactly when you need the debugger.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/node.h"
+
+namespace catenet::app {
+
+/// Debug target: exposes a flat memory image and a halted/running flag
+/// over UDP. Requests are served statelessly.
+class XnetTarget {
+public:
+    XnetTarget(core::Host& host, std::uint16_t port, std::size_t memory_size);
+
+    /// Direct backdoor for tests (the "hardware" view of memory).
+    std::uint8_t peek_direct(std::uint32_t addr) const { return memory_.at(addr); }
+    void poke_direct(std::uint32_t addr, std::uint8_t value) { memory_.at(addr) = value; }
+    bool halted() const noexcept { return halted_; }
+    std::uint64_t requests_served() const noexcept { return served_; }
+
+private:
+    void on_request(util::Ipv4Address from, std::uint16_t from_port,
+                    std::span<const std::uint8_t> request);
+
+    core::Host& host_;
+    std::unique_ptr<udp::UdpSocket> socket_;
+    std::vector<std::uint8_t> memory_;
+    bool halted_ = false;
+    std::uint64_t served_ = 0;
+};
+
+struct XnetResult {
+    bool ok = false;
+    std::vector<std::uint8_t> data;  // for peek
+};
+
+/// Debugger side: issues idempotent requests with retry-until-answer.
+class XnetDebugger {
+public:
+    using ResultFn = std::function<void(const XnetResult&)>;
+
+    XnetDebugger(core::Host& host, util::Ipv4Address target, std::uint16_t port,
+                 sim::Time retry_interval = sim::milliseconds(500), int max_retries = 40);
+
+    /// One operation may be outstanding at a time (a debugger is a serial
+    /// tool); issuing a new one while busy returns false.
+    bool peek(std::uint32_t addr, std::uint16_t length, ResultFn done);
+    bool poke(std::uint32_t addr, std::span<const std::uint8_t> data, ResultFn done);
+    bool halt(ResultFn done);
+    bool resume(ResultFn done);
+
+    std::uint64_t retries() const noexcept { return retries_; }
+
+private:
+    bool issue(util::ByteBuffer request, ResultFn done);
+    void transmit();
+    void on_reply(std::span<const std::uint8_t> reply);
+    void on_retry_timer();
+
+    core::Host& host_;
+    util::Ipv4Address target_;
+    std::uint16_t port_;
+    sim::Time retry_interval_;
+    int max_retries_;
+    std::unique_ptr<udp::UdpSocket> socket_;
+    sim::Timer retry_timer_;
+    util::ByteBuffer pending_request_;
+    ResultFn pending_done_;
+    std::uint32_t next_tag_ = 1;
+    std::uint32_t pending_tag_ = 0;
+    int attempts_ = 0;
+    std::uint64_t retries_ = 0;
+};
+
+}  // namespace catenet::app

@@ -1,0 +1,75 @@
+#include "core/flow.h"
+
+#include "util/byte_buffer.h"
+
+namespace catenet::core {
+
+std::uint64_t FlowKey::hash() const noexcept {
+    // FNV-1a over the tuple fields.
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(src, 4);
+    mix(dst, 4);
+    mix(protocol, 1);
+    mix(src_port, 2);
+    mix(dst_port, 2);
+    mix(tos, 1);
+    return h;
+}
+
+std::optional<FlowKey> classify_packet(std::span<const std::uint8_t> wire) {
+    ip::DecodedDatagram d;
+    try {
+        if (!ip::decode_datagram(wire, d)) return std::nullopt;
+    } catch (const util::DecodeError&) {
+        return std::nullopt;
+    }
+    FlowKey key;
+    key.src = d.header.src.value();
+    key.dst = d.header.dst.value();
+    key.protocol = d.header.protocol;
+    key.tos = d.header.tos;
+    // Ports are only visible on the first fragment and only for transports
+    // that carry them in the first four bytes (TCP and UDP both do).
+    if (d.header.fragment_offset == 0 &&
+        (d.header.protocol == 6 || d.header.protocol == 17) && d.payload_length >= 4) {
+        util::BufferReader r(wire.subspan(d.payload_offset, 4));
+        key.src_port = r.get_u16();
+        key.dst_port = r.get_u16();
+    }
+    return key;
+}
+
+void FlowTable::record(const FlowKey& key, std::size_t bytes, sim::Time now) {
+    auto [it, inserted] = flows_.try_emplace(key);
+    FlowRecord& rec = it->second;
+    if (inserted) {
+        rec.first_seen = now;
+        ++stats_.flows_created;
+    }
+    ++rec.packets;
+    rec.bytes += bytes;
+    rec.last_seen = now;
+    ++stats_.packets_accounted;
+}
+
+std::size_t FlowTable::sweep(sim::Time now) {
+    std::size_t evicted = 0;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.last_seen + idle_timeout_ <= now) {
+            it = flows_.erase(it);
+            ++evicted;
+            ++stats_.flows_expired;
+        } else {
+            ++it;
+        }
+    }
+    return evicted;
+}
+
+}  // namespace catenet::core

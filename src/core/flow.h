@@ -1,0 +1,77 @@
+// Flows and soft state — the paper's "next building block" (§ Datagrams /
+// future directions) and the architecture's weak goal 7 (accountability).
+// A FlowKey identifies a conversation from packet headers alone; a
+// FlowTable holds *soft* per-flow state in a gateway: built from passing
+// traffic, evicted on idleness, and rebuildable from scratch after a
+// crash with no end-to-end harm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+
+#include "ip/ipv4_header.h"
+#include "sim/simulator.h"
+
+namespace catenet::core {
+
+struct FlowKey {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint8_t protocol = 0;
+    std::uint16_t src_port = 0;  ///< zero for port-less protocols / fragments
+    std::uint16_t dst_port = 0;
+    std::uint8_t tos = 0;
+
+    auto operator<=>(const FlowKey&) const = default;
+
+    /// Stable hash for queue classifiers.
+    std::uint64_t hash() const noexcept;
+};
+
+/// Extracts the flow key from a wire-format IP datagram. Non-first
+/// fragments have no transport header, so their ports are zero — the same
+/// ambiguity a real flow classifier faces.
+std::optional<FlowKey> classify_packet(std::span<const std::uint8_t> wire);
+
+struct FlowRecord {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    sim::Time first_seen;
+    sim::Time last_seen;
+};
+
+struct FlowTableStats {
+    std::uint64_t flows_created = 0;
+    std::uint64_t flows_expired = 0;
+    std::uint64_t packets_accounted = 0;
+};
+
+/// Per-gateway flow accounting with idle eviction. All state is
+/// reconstructible from traffic: `clear()` (a crash) loses only history,
+/// never correctness.
+class FlowTable {
+public:
+    explicit FlowTable(sim::Time idle_timeout = sim::seconds(30))
+        : idle_timeout_(idle_timeout) {}
+
+    void record(const FlowKey& key, std::size_t bytes, sim::Time now);
+
+    /// Evicts flows idle past the timeout; returns how many were evicted.
+    std::size_t sweep(sim::Time now);
+
+    void clear() { flows_.clear(); }
+
+    std::size_t active_flows() const noexcept { return flows_.size(); }
+    const std::map<FlowKey, FlowRecord>& flows() const noexcept { return flows_; }
+    const FlowTableStats& stats() const noexcept { return stats_; }
+
+private:
+    sim::Time idle_timeout_;
+    std::map<FlowKey, FlowRecord> flows_;
+    FlowTableStats stats_;
+};
+
+}  // namespace catenet::core

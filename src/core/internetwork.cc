@@ -1,0 +1,179 @@
+#include "core/internetwork.h"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace catenet::core {
+
+Internetwork::Internetwork(std::uint64_t seed) : rng_(seed) {}
+
+Host& Internetwork::add_host(const std::string& name) {
+    hosts_.push_back(std::make_unique<Host>(sim_, name, rng_));
+    node_ptrs_.push_back(hosts_.back().get());
+    return *hosts_.back();
+}
+
+Gateway& Internetwork::add_gateway(const std::string& name) {
+    gateways_.push_back(std::make_unique<Gateway>(sim_, name));
+    node_ptrs_.push_back(gateways_.back().get());
+    return *gateways_.back();
+}
+
+util::Ipv4Prefix Internetwork::allocate_subnet() {
+    const std::uint32_t n = next_subnet_++;
+    if (n > 0xffff) throw std::runtime_error("subnet space exhausted");
+    return util::Ipv4Prefix(
+        util::Ipv4Address(10, static_cast<std::uint8_t>(n >> 8),
+                          static_cast<std::uint8_t>(n & 0xff), 0),
+        24);
+}
+
+std::size_t Internetwork::connect(Node& a, Node& b, const link::LinkParams& params) {
+    const auto subnet = allocate_subnet();
+    const util::Ipv4Address addr_a(subnet.address().value() + 1);
+    const util::Ipv4Address addr_b(subnet.address().value() + 2);
+
+    auto link = std::make_unique<link::PointToPointLink>(
+        sim_, rng_, params, a.name() + "-" + b.name());
+    const std::size_t if_a = a.ip().add_interface(link->port_a(), addr_a, subnet);
+    const std::size_t if_b = b.ip().add_interface(link->port_b(), addr_b, subnet);
+
+    adjacency_[&a].push_back(EdgeRef{&b, if_a, addr_b});
+    adjacency_[&b].push_back(EdgeRef{&a, if_b, addr_a});
+    subnets_.push_back(Subnet{subnet, {{&a, if_a, addr_a}, {&b, if_b, addr_b}}});
+
+    links_.push_back(std::move(link));
+    return links_.size() - 1;
+}
+
+std::size_t Internetwork::add_lan(const link::LanParams& params, const std::string& name) {
+    lans_.push_back(std::make_unique<link::Lan>(sim_, rng_, params, name));
+    const std::size_t index = lans_.size() - 1;
+    lan_next_host_.push_back(1);
+    lan_subnet_[index] = allocate_subnet();
+    subnets_.push_back(Subnet{lan_subnet_[index], {}});
+    return index;
+}
+
+util::Ipv4Address Internetwork::attach_to_lan(Node& node, std::size_t lan_index) {
+    auto& lan = *lans_.at(lan_index);
+    const auto subnet = lan_subnet_.at(lan_index);
+    const std::size_t host_octet = lan_next_host_.at(lan_index)++;
+    if (host_octet >= 255) throw std::runtime_error("LAN address space exhausted");
+    const util::Ipv4Address addr(subnet.address().value() +
+                                 static_cast<std::uint32_t>(host_octet));
+    const std::size_t port_index = lan.port_count();
+    auto& port = lan.add_port();
+    const std::size_t ifindex = node.ip().add_interface(port, addr, subnet);
+    lan.register_address(addr, port_index);
+
+    // A LAN is a full mesh at the node-graph level: every prior attachee
+    // becomes a neighbor.
+    for (auto& subnet_rec : subnets_) {
+        if (subnet_rec.prefix == subnet) {
+            for (const Attachment& prior : subnet_rec.attached) {
+                adjacency_[&node].push_back(EdgeRef{prior.node, ifindex, prior.addr});
+                adjacency_[prior.node].push_back(EdgeRef{&node, prior.ifindex, addr});
+            }
+            subnet_rec.attached.push_back(Attachment{&node, ifindex, addr});
+            break;
+        }
+    }
+    return addr;
+}
+
+void Internetwork::use_static_routes() {
+    constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+    for (Node* origin : node_ptrs_) {
+        // BFS recording, for each reached node, the first edge taken from
+        // `origin` on a shortest path.
+        std::map<Node*, std::size_t> dist;
+        std::map<Node*, const EdgeRef*> first_hop;
+        std::deque<Node*> frontier;
+        dist[origin] = 0;
+        frontier.push_back(origin);
+        while (!frontier.empty()) {
+            Node* current = frontier.front();
+            frontier.pop_front();
+            for (const EdgeRef& edge : adjacency_[current]) {
+                if (dist.contains(edge.peer)) continue;
+                dist[edge.peer] = dist[current] + 1;
+                first_hop[edge.peer] = current == origin ? &edge : first_hop[current];
+                frontier.push_back(edge.peer);
+            }
+        }
+
+        for (const Subnet& subnet : subnets_) {
+            // Skip subnets this node touches (connected route suffices).
+            bool connected = false;
+            for (const Attachment& attached : subnet.attached) {
+                if (attached.node == origin) connected = true;
+            }
+            if (connected) continue;
+
+            // Nearest attached node.
+            Node* best = nullptr;
+            std::size_t best_dist = kInf;
+            for (const Attachment& attached : subnet.attached) {
+                auto it = dist.find(attached.node);
+                if (it != dist.end() && it->second < best_dist) {
+                    best = attached.node;
+                    best_dist = it->second;
+                }
+            }
+            if (best == nullptr) continue;  // unreachable
+
+            const EdgeRef* hop = first_hop[best];
+            ip::Route route;
+            route.prefix = subnet.prefix;
+            route.next_hop = hop->peer_addr;
+            route.ifindex = hop->my_ifindex;
+            route.metric = static_cast<std::uint32_t>(best_dist);
+            route.origin = "static";
+            origin->ip().routing_table().install(route);
+        }
+    }
+}
+
+void Internetwork::install_host_default_routes() {
+    for (auto& host : hosts_) {
+        const auto& edges = adjacency_[host.get()];
+        if (edges.empty()) continue;
+        // Prefer a gateway neighbor.
+        const EdgeRef* chosen = &edges.front();
+        for (const EdgeRef& edge : edges) {
+            if (dynamic_cast<Gateway*>(edge.peer) != nullptr) {
+                chosen = &edge;
+                break;
+            }
+        }
+        ip::Route route;
+        route.prefix = util::Ipv4Prefix(util::Ipv4Address(0), 0);
+        route.next_hop = chosen->peer_addr;
+        route.ifindex = chosen->my_ifindex;
+        route.origin = "static";
+        host->ip().routing_table().install(route);
+    }
+}
+
+void Internetwork::enable_dynamic_routing(const routing::DvConfig& config) {
+    for (auto& gateway : gateways_) {
+        gateway->enable_distance_vector(config);
+    }
+    install_host_default_routes();
+}
+
+std::uint64_t Internetwork::total_link_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& link : links_) {
+        total += link->port_a().stats().bytes_sent + link->port_b().stats().bytes_sent;
+    }
+    for (const auto& lan : lans_) {
+        total += lan->total_bytes_sent();
+    }
+    return total;
+}
+
+}  // namespace catenet::core

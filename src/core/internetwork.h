@@ -1,0 +1,108 @@
+// The Internetwork builder: constructs a "realization" of the
+// architecture in the paper's sense — a concrete set of hosts, gateways
+// and heterogeneous networks wired together — assigns addressing,
+// installs routing (oracle static routes or the real protocols), and
+// injects failures. Every experiment and example builds its topology
+// through this class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "link/lan.h"
+#include "link/point_to_point.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace catenet::core {
+
+class Internetwork {
+public:
+    explicit Internetwork(std::uint64_t seed);
+    Internetwork(const Internetwork&) = delete;
+    Internetwork& operator=(const Internetwork&) = delete;
+
+    sim::Simulator& sim() noexcept { return sim_; }
+    util::Rng& rng() noexcept { return rng_; }
+
+    // --- topology ------------------------------------------------------
+    Host& add_host(const std::string& name);
+    Gateway& add_gateway(const std::string& name);
+
+    /// Connects two nodes with a point-to-point link; allocates a /24 and
+    /// binds .1 (a's side) and .2 (b's side). Returns the link index.
+    std::size_t connect(Node& a, Node& b, const link::LinkParams& params);
+
+    /// Creates a shared LAN segment; returns its index.
+    std::size_t add_lan(const link::LanParams& params, const std::string& name = "lan");
+
+    /// Attaches a node to a LAN; returns the address it was given.
+    util::Ipv4Address attach_to_lan(Node& node, std::size_t lan_index);
+
+    // --- routing --------------------------------------------------------
+    /// Installs oracle shortest-path static routes everywhere (topology
+    /// known to the operator; does not adapt to failures).
+    void use_static_routes();
+
+    /// Gives every host a default route via an adjacent gateway (or any
+    /// neighbor if no gateway is adjacent).
+    void install_host_default_routes();
+
+    /// Starts distance-vector routing on every gateway and gives hosts
+    /// default routes: the self-managing configuration (goals 1 and 4).
+    void enable_dynamic_routing(const routing::DvConfig& config = {});
+
+    // --- failure injection ------------------------------------------------
+    void fail_link(std::size_t link_index) { links_.at(link_index)->set_up(false); }
+    void restore_link(std::size_t link_index) { links_.at(link_index)->set_up(true); }
+
+    // --- access & metrics ----------------------------------------------
+    link::PointToPointLink& link(std::size_t i) { return *links_.at(i); }
+    link::Lan& lan(std::size_t i) { return *lans_.at(i); }
+    std::size_t link_count() const noexcept { return links_.size(); }
+    const std::vector<Node*>& nodes() const noexcept { return node_ptrs_; }
+
+    /// Total bytes clocked onto all wires — the "byte-hops" cost metric
+    /// for the E5 experiments.
+    std::uint64_t total_link_bytes() const;
+
+    /// Runs the simulation for `duration` of simulated time.
+    void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+private:
+    struct EdgeRef {
+        Node* peer;
+        std::size_t my_ifindex;
+        util::Ipv4Address peer_addr;
+    };
+    struct Attachment {
+        Node* node;
+        std::size_t ifindex;
+        util::Ipv4Address addr;
+    };
+    struct Subnet {
+        util::Ipv4Prefix prefix;
+        std::vector<Attachment> attached;
+    };
+
+    util::Ipv4Prefix allocate_subnet();
+
+    sim::Simulator sim_;
+    util::Rng rng_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<std::unique_ptr<Gateway>> gateways_;
+    std::vector<Node*> node_ptrs_;
+    std::vector<std::unique_ptr<link::PointToPointLink>> links_;
+    std::vector<std::unique_ptr<link::Lan>> lans_;
+    std::vector<std::size_t> lan_next_host_;  ///< next address octet per LAN
+    std::map<std::size_t, util::Ipv4Prefix> lan_subnet_;
+    std::map<Node*, std::vector<EdgeRef>> adjacency_;
+    std::vector<Subnet> subnets_;
+    std::uint32_t next_subnet_ = 1;
+};
+
+}  // namespace catenet::core

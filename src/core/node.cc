@@ -1,0 +1,60 @@
+#include "core/node.h"
+
+namespace catenet::core {
+
+routing::DistanceVector& Gateway::enable_distance_vector(routing::DvConfig config) {
+    if (!dv_) {
+        dv_ = std::make_unique<routing::DistanceVector>(ip_, config);
+        dv_->start();
+    }
+    return *dv_;
+}
+
+routing::EgpSpeaker& Gateway::enable_egp(std::uint16_t region, routing::EgpConfig config) {
+    if (!egp_) {
+        egp_ = std::make_unique<routing::EgpSpeaker>(ip_, region, config);
+        if (dv_) {
+            // Redistribute inter-region reachability into the interior.
+            dv_->set_export_hook([this] { return egp_->redistribution_entries(); });
+        }
+        egp_->start();
+    }
+    return *egp_;
+}
+
+FlowTable& Gateway::enable_flow_accounting(sim::Time idle_timeout, sim::Time sweep_period) {
+    if (!flows_) {
+        flows_ = std::make_unique<FlowTable>(idle_timeout);
+        ip_.set_forward_tap([this](const ip::Ipv4Header& header, std::size_t bytes) {
+            FlowKey key;
+            key.src = header.src.value();
+            key.dst = header.dst.value();
+            key.protocol = header.protocol;
+            key.tos = header.tos;
+            // The tap sees decoded headers but not the payload; reuse the
+            // identification-free key (ports unavailable here would force a
+            // reparse — acceptable for gateway-grain accounting, and the
+            // benchmarked classifier path in FlowKey/classify_packet covers
+            // the port-aware variant).
+            flows_->record(key, bytes, sim_.now());
+        });
+        sweep_timer_ = std::make_unique<sim::PeriodicTimer>(
+            sim_, [this] { flows_->sweep(sim_.now()); });
+        sweep_timer_->start(sweep_period);
+    }
+    return *flows_;
+}
+
+void Gateway::set_down(bool down) {
+    Node::set_down(down);
+    if (down) {
+        // Crash semantics: all soft state evaporates — flow records and
+        // protocol-learned routes (RAM). Static routes model the config
+        // file on stable storage and survive.
+        if (flows_) flows_->clear();
+        ip_.routing_table().remove_by_origin("dv");
+        ip_.routing_table().remove_by_origin("egp");
+    }
+}
+
+}  // namespace catenet::core

@@ -1,0 +1,109 @@
+// Node roles in the datagram internet. A Host carries the full transport
+// stack (the paper's goal 6: the burden of reliability lives here); a
+// Gateway is an IP forwarder plus optional routing protocols and flow
+// accounting — and structurally nothing else (fate-sharing, goal 1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/flow.h"
+#include "ip/ip_stack.h"
+#include "routing/distance_vector.h"
+#include "routing/egp.h"
+#include "sim/timer.h"
+#include "tcp/simple_arq.h"
+#include "tcp/tcp.h"
+#include "udp/udp.h"
+#include "util/random.h"
+
+namespace catenet::core {
+
+class Node {
+public:
+    Node(sim::Simulator& sim, std::string name)
+        : sim_(sim), ip_(sim, name), name_(std::move(name)) {}
+    virtual ~Node() = default;
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    ip::IpStack& ip() noexcept { return ip_; }
+    const ip::IpStack& ip() const noexcept { return ip_; }
+    sim::Simulator& simulator() noexcept { return sim_; }
+    const std::string& name() const noexcept { return name_; }
+    util::Ipv4Address address() const { return ip_.primary_address(); }
+
+    /// Crash / restore the whole node.
+    virtual void set_down(bool down) { ip_.set_down(down); }
+    bool is_down() const noexcept { return ip_.is_down(); }
+
+protected:
+    sim::Simulator& sim_;
+    ip::IpStack ip_;
+    std::string name_;
+};
+
+/// An end system: IP + UDP + TCP (+ the ARQ baseline transport).
+class Host final : public Node {
+public:
+    Host(sim::Simulator& sim, std::string name, util::Rng& parent_rng)
+        : Node(sim, std::move(name)),
+          rng_(parent_rng.fork()),
+          udp_(ip_),
+          tcp_(ip_, rng_),
+          arq_(ip_) {}
+
+    udp::UdpStack& udp() noexcept { return udp_; }
+    tcp::TcpStack& tcp() noexcept { return tcp_; }
+    tcp::ArqEndpoint& arq() noexcept { return arq_; }
+    util::Rng& rng() noexcept { return rng_; }
+
+private:
+    util::Rng rng_;
+    udp::UdpStack udp_;
+    tcp::TcpStack tcp_;
+    tcp::ArqEndpoint arq_;
+};
+
+/// A packet switch of the datagram architecture. Forwarding is enabled at
+/// construction; everything else (routing protocols, flow accounting) is
+/// opt-in and — critically — soft state.
+class Gateway final : public Node {
+public:
+    Gateway(sim::Simulator& sim, std::string name) : Node(sim, std::move(name)) {
+        ip_.set_forwarding(true);
+    }
+
+    /// Turns on the intra-region routing protocol.
+    routing::DistanceVector& enable_distance_vector(routing::DvConfig config = {});
+
+    /// Turns on the inter-region protocol (goal 4). Call after
+    /// enable_distance_vector if interior redistribution is wanted.
+    routing::EgpSpeaker& enable_egp(std::uint16_t region, routing::EgpConfig config = {});
+
+    /// Turns on per-flow accounting of forwarded traffic (goal 7 / E10).
+    FlowTable& enable_flow_accounting(sim::Time idle_timeout = sim::seconds(30),
+                                      sim::Time sweep_period = sim::seconds(5));
+
+    /// Turns on ICMP Source Quench on egress-queue drops (RFC 792's
+    /// congestion feedback; era-faithful, ablated in the benches). Call
+    /// after all links are connected.
+    void enable_source_quench(sim::Time min_interval = sim::milliseconds(50)) {
+        ip_.set_source_quench(true, min_interval);
+    }
+
+    routing::DistanceVector* distance_vector() noexcept { return dv_.get(); }
+    routing::EgpSpeaker* egp() noexcept { return egp_.get(); }
+    FlowTable* flow_table() noexcept { return flows_.get(); }
+
+    void set_down(bool down) override;
+
+private:
+    std::unique_ptr<routing::DistanceVector> dv_;
+    std::unique_ptr<routing::EgpSpeaker> egp_;
+    std::unique_ptr<FlowTable> flows_;
+    std::unique_ptr<sim::PeriodicTimer> sweep_timer_;
+};
+
+}  // namespace catenet::core

@@ -1,0 +1,101 @@
+#include "core/realizations.h"
+
+#include "link/presets.h"
+
+namespace catenet::core {
+
+namespace {
+
+routing::DvConfig field_routing() {
+    routing::DvConfig c;
+    c.period = sim::seconds(2);       // aggressive: topology changes often
+    c.route_timeout = sim::seconds(7);
+    return c;
+}
+
+routing::DvConfig office_routing() {
+    routing::DvConfig c;
+    c.period = sim::seconds(10);      // sedate: topology changes rarely
+    c.route_timeout = sim::seconds(35);
+    return c;
+}
+
+}  // namespace
+
+Realization military_field_realization(std::uint64_t seed) {
+    Realization r;
+    r.description =
+        "battlefield: packet radio units -> field relay -> satellite trunk -> rear";
+    r.net = std::make_unique<Internetwork>(seed);
+    auto& net = *r.net;
+
+    Host& unit_a = net.add_host("unit-a");
+    Host& unit_b = net.add_host("unit-b");
+    Host& rear_command = net.add_host("rear-cmd");
+    Gateway& field_relay = net.add_gateway("field-relay");
+    Gateway& uplink = net.add_gateway("uplink");
+    Gateway& rear_gw = net.add_gateway("rear-gw");
+
+    // Units reach the relay over packet radio (lossy, jittery, small MTU).
+    net.connect(unit_a, field_relay, link::presets::packet_radio());
+    net.connect(unit_b, field_relay, link::presets::packet_radio());
+    // Relay to the uplink truck: more radio.
+    net.connect(field_relay, uplink, link::presets::packet_radio());
+    // The long haul: geostationary satellite.
+    net.connect(uplink, rear_gw, link::presets::satellite());
+    // Rear headquarters is properly wired.
+    net.connect(rear_gw, rear_command, link::presets::ethernet_hop());
+
+    for (auto* g : {&field_relay, &uplink, &rear_gw}) {
+        g->enable_distance_vector(field_routing());
+    }
+    net.install_host_default_routes();
+
+    r.hosts = {&unit_a, &unit_b, &rear_command};
+    r.gateways = {&field_relay, &uplink, &rear_gw};
+    return r;
+}
+
+Realization commercial_realization(std::uint64_t seed) {
+    Realization r;
+    r.description = "commercial: two office LANs + data center over a leased WAN triangle";
+    r.net = std::make_unique<Internetwork>(seed);
+    auto& net = *r.net;
+
+    Host& desk_a = net.add_host("desk-a");
+    Host& desk_b = net.add_host("desk-b");
+    Host& server = net.add_host("server");
+    Gateway& border_a = net.add_gateway("border-a");
+    Gateway& border_b = net.add_gateway("border-b");
+    Gateway& border_dc = net.add_gateway("border-dc");
+    Gateway& wan_hub = net.add_gateway("wan-hub");
+
+    const auto lan_a = net.add_lan(link::presets::ethernet_lan(), "office-a");
+    net.attach_to_lan(desk_a, lan_a);
+    net.attach_to_lan(border_a, lan_a);
+    const auto lan_b = net.add_lan(link::presets::ethernet_lan(), "office-b");
+    net.attach_to_lan(desk_b, lan_b);
+    net.attach_to_lan(border_b, lan_b);
+
+    // WAN: T1-class leased lines in a hub-and-spoke with one cross link
+    // for redundancy.
+    link::LinkParams t1 = link::presets::leased_line();
+    t1.bits_per_second = 1'544'000;
+    t1.queue_capacity_packets = 64;
+    net.connect(border_a, wan_hub, t1);
+    net.connect(border_b, wan_hub, t1);
+    net.connect(border_dc, wan_hub, t1);
+    net.connect(border_a, border_dc, t1);  // redundant path
+    net.connect(border_dc, server, link::presets::ethernet_hop());
+
+    for (auto* g : {&border_a, &border_b, &border_dc, &wan_hub}) {
+        g->enable_distance_vector(office_routing());
+    }
+    net.install_host_default_routes();
+
+    r.hosts = {&desk_a, &desk_b, &server};
+    r.gateways = {&border_a, &border_b, &border_dc, &wan_hub};
+    return r;
+}
+
+}  // namespace catenet::core

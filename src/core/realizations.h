@@ -1,0 +1,43 @@
+// Realizations — the paper's own term: "the Internet architecture
+// tolerates a wide variety of realizations", from a battlefield internet
+// of packet radio and satellite to a campus/commercial internet of LANs
+// and leased lines. These builders construct such divergent realizations
+// with one call, so tests and benchmarks can run identical workloads over
+// both and demonstrate the claim.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/internetwork.h"
+
+namespace catenet::core {
+
+/// A constructed realization: the internetwork plus role handles.
+struct Realization {
+    std::unique_ptr<Internetwork> net;
+    /// End systems available for workloads, in a stable order.
+    std::vector<Host*> hosts;
+    /// Transit nodes, for failure injection.
+    std::vector<Gateway*> gateways;
+    /// Human-readable description of what was built.
+    std::string description;
+};
+
+/// The military field realization the architecture was born for: mobile
+/// units on lossy, jittery packet radio; a field headquarters; a satellite
+/// trunk to rear headquarters; minimal wired infrastructure; dynamic
+/// routing throughout (units appear and disappear).
+///   hosts:    [0]=field unit A, [1]=field unit B, [2]=rear command
+///   gateways: [0]=field relay, [1]=uplink, [2]=rear gateway
+Realization military_field_realization(std::uint64_t seed);
+
+/// The commercial realization the Internet grew into: two office LANs,
+/// a leased-line WAN triangle with a redundant path, static-looking
+/// (operator-managed) dynamic routing.
+///   hosts:    [0]=office A desk, [1]=office B desk, [2]=data-center server
+///   gateways: [0]=office A border, [1]=office B border, [2]=dc border,
+///             [3]=wan hub
+Realization commercial_realization(std::uint64_t seed);
+
+}  // namespace catenet::core

@@ -1,0 +1,58 @@
+#include "ip/icmp.h"
+
+#include <algorithm>
+
+#include "util/checksum.h"
+
+namespace catenet::ip {
+
+IcmpMessage IcmpMessage::echo_request(std::uint16_t id, std::uint16_t seq,
+                                      util::ByteBuffer data) {
+    IcmpMessage m;
+    m.type = IcmpType::EchoRequest;
+    m.rest = (std::uint32_t{id} << 16) | seq;
+    m.body = std::move(data);
+    return m;
+}
+
+IcmpMessage IcmpMessage::echo_reply(const IcmpMessage& request) {
+    IcmpMessage m = request;
+    m.type = IcmpType::EchoReply;
+    return m;
+}
+
+IcmpMessage IcmpMessage::error(IcmpType type, std::uint8_t code,
+                               std::span<const std::uint8_t> offending_datagram) {
+    IcmpMessage m;
+    m.type = type;
+    m.code = code;
+    // Quote the IP header (assume 20 bytes if shorter data) plus 8 bytes.
+    const std::size_t quote = std::min<std::size_t>(offending_datagram.size(), 28);
+    m.body = util::to_buffer(offending_datagram.subspan(0, quote));
+    return m;
+}
+
+util::ByteBuffer encode_icmp(const IcmpMessage& msg) {
+    util::BufferWriter w(8 + msg.body.size());
+    w.put_u8(static_cast<std::uint8_t>(msg.type));
+    w.put_u8(msg.code);
+    w.put_u16(0);  // checksum placeholder
+    w.put_u32(msg.rest);
+    w.put_bytes(msg.body);
+    w.patch_u16(2, util::internet_checksum(w.data()));
+    return w.take();
+}
+
+std::optional<IcmpMessage> decode_icmp(std::span<const std::uint8_t> wire) {
+    if (!util::checksum_valid(wire)) return std::nullopt;
+    util::BufferReader r(wire);
+    IcmpMessage m;
+    m.type = static_cast<IcmpType>(r.get_u8());
+    m.code = r.get_u8();
+    r.get_u16();  // checksum already validated
+    m.rest = r.get_u32();
+    m.body = util::to_buffer(r.remaining());
+    return m;
+}
+
+}  // namespace catenet::ip

@@ -1,0 +1,56 @@
+// RFC 792 ICMP messages: echo, destination unreachable, time exceeded.
+// Error messages quote the offending datagram's header plus 8 payload
+// bytes, exactly as the RFC prescribes, so transports can match errors to
+// connections.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/byte_buffer.h"
+#include "util/ip_address.h"
+
+namespace catenet::ip {
+
+enum class IcmpType : std::uint8_t {
+    EchoReply = 0,
+    DestinationUnreachable = 3,
+    SourceQuench = 4,  ///< the 1988 congestion signal (RFC 792/896)
+    EchoRequest = 8,
+    TimeExceeded = 11,
+};
+
+// Codes for DestinationUnreachable.
+inline constexpr std::uint8_t kUnreachNet = 0;
+inline constexpr std::uint8_t kUnreachHost = 1;
+inline constexpr std::uint8_t kUnreachProtocol = 2;
+inline constexpr std::uint8_t kUnreachPort = 3;
+inline constexpr std::uint8_t kUnreachFragNeeded = 4;
+
+struct IcmpMessage {
+    IcmpType type = IcmpType::EchoReply;
+    std::uint8_t code = 0;
+    /// Second header word: echo id/seq, or unused for errors.
+    std::uint32_t rest = 0;
+    /// Echo data, or the quoted offending header + 8 bytes for errors.
+    util::ByteBuffer body;
+
+    static IcmpMessage echo_request(std::uint16_t id, std::uint16_t seq,
+                                    util::ByteBuffer data);
+    static IcmpMessage echo_reply(const IcmpMessage& request);
+    static IcmpMessage error(IcmpType type, std::uint8_t code,
+                             std::span<const std::uint8_t> offending_datagram);
+
+    std::uint16_t echo_id() const noexcept { return static_cast<std::uint16_t>(rest >> 16); }
+    std::uint16_t echo_seq() const noexcept { return static_cast<std::uint16_t>(rest & 0xffff); }
+};
+
+/// Serializes with the ICMP checksum filled in.
+util::ByteBuffer encode_icmp(const IcmpMessage& msg);
+
+/// Returns nullopt when the checksum is invalid; throws util::DecodeError
+/// when structurally malformed.
+std::optional<IcmpMessage> decode_icmp(std::span<const std::uint8_t> wire);
+
+}  // namespace catenet::ip

@@ -1,0 +1,332 @@
+#include "ip/ip_stack.h"
+
+#include <algorithm>
+
+#include "ip/protocols.h"
+#include "util/logging.h"
+
+namespace catenet::ip {
+
+namespace {
+const util::Logger kLog("ip");
+}
+
+IpStack::IpStack(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), reassembler_(sim) {}
+
+std::size_t IpStack::add_interface(link::NetIf& netif, util::Ipv4Address addr,
+                                   util::Ipv4Prefix subnet) {
+    const std::size_t ifindex = interfaces_.size();
+    interfaces_.push_back(Interface{&netif, addr, subnet});
+    netif.set_address(addr);
+    netif.set_receiver([this, ifindex](link::Packet packet) {
+        receive(ifindex, std::move(packet));
+    });
+    Route connected;
+    connected.prefix = subnet;
+    connected.ifindex = ifindex;
+    connected.origin = "connected";
+    routes_.install(connected);
+    return ifindex;
+}
+
+util::Ipv4Address IpStack::primary_address() const {
+    return interfaces_.empty() ? util::Ipv4Address{} : interfaces_.front().address;
+}
+
+void IpStack::set_down(bool down) {
+    down_ = down;
+    if (down) {
+        reassembler_.clear();
+    }
+    for (auto& iface : interfaces_) {
+        iface.netif->set_up(!down);
+    }
+}
+
+void IpStack::flush_routes() {
+    // Keep connected routes (re-derived from hardware); drop the rest.
+    auto snapshot = routes_.routes();
+    for (const auto& r : snapshot) {
+        if (r.origin != "connected") routes_.remove(r.prefix);
+    }
+}
+
+void IpStack::register_protocol(std::uint8_t protocol, ProtocolHandler handler) {
+    protocols_[protocol] = std::move(handler);
+}
+
+bool IpStack::is_local_address(util::Ipv4Address addr) const {
+    return std::any_of(interfaces_.begin(), interfaces_.end(),
+                       [&](const Interface& i) { return i.address == addr; });
+}
+
+bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
+                   std::span<const std::uint8_t> payload, const SendOptions& options) {
+    if (down_) return false;
+
+    // Local loopback: deliver without touching any interface.
+    if (is_local_address(dst)) {
+        Ipv4Header h;
+        h.protocol = protocol;
+        h.tos = options.tos;
+        h.ttl = options.ttl;
+        h.src = options.source.is_unspecified() ? dst : options.source;
+        h.dst = dst;
+        ++stats_.datagrams_sent;
+        auto data = util::to_buffer(payload);
+        sim_.schedule_after(sim::Time(0), [this, h, data = std::move(data)] {
+            deliver_local(h, data, 0);
+        });
+        return true;
+    }
+
+    const auto route = routes_.lookup(dst);
+    if (!route) {
+        ++stats_.dropped_no_route;
+        return false;
+    }
+    Ipv4Header header;
+    header.protocol = protocol;
+    header.tos = options.tos;
+    header.ttl = options.ttl;
+    header.dont_fragment = options.dont_fragment;
+    header.identification = next_identification_++;
+    header.src = options.source.is_unspecified()
+                     ? interfaces_.at(route->ifindex).address
+                     : options.source;
+    header.dst = dst;
+    ++stats_.datagrams_sent;
+    if (trace_) trace_("tx", header, kIpv4HeaderSize + payload.size());
+    return transmit(header, payload, *route);
+}
+
+void IpStack::set_source_quench(bool on, sim::Time min_interval) {
+    source_quench_ = on;
+    quench_min_interval_ = min_interval;
+    if (!on) return;
+    for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+        interfaces_[i].netif->set_drop_observer([this](const link::Packet& packet) {
+            if (!source_quench_ || down_) return;
+            // Rate limit: congestion produces drop storms; one quench per
+            // interval is signal enough (RFC 1122 §3.2.2.3 allows this).
+            const sim::Time now = sim_.now();
+            if (last_quench_ > sim::Time(0) &&
+                now - last_quench_ < quench_min_interval_) {
+                return;
+            }
+            last_quench_ = now;
+            send_icmp_error(IcmpType::SourceQuench, 0, packet.bytes);
+            ++stats_.source_quenches_sent;
+        });
+    }
+}
+
+bool IpStack::send_broadcast(std::uint8_t protocol, std::size_t ifindex,
+                             std::span<const std::uint8_t> payload,
+                             const SendOptions& options) {
+    if (down_ || ifindex >= interfaces_.size()) return false;
+    auto& iface = interfaces_[ifindex];
+    if (!iface.netif->is_up()) {
+        ++stats_.dropped_iface_down;
+        return false;
+    }
+    Ipv4Header header;
+    header.protocol = protocol;
+    header.tos = options.tos;
+    header.ttl = 1;
+    header.identification = next_identification_++;
+    header.src = iface.address;
+    header.dst = kBroadcastAddress;
+    ++stats_.datagrams_sent;
+    auto wire = encode_datagram(header, payload);
+    iface.netif->send(link::make_packet(std::move(wire), sim_.now()), util::Ipv4Address{});
+    return true;
+}
+
+bool IpStack::ping(util::Ipv4Address dst, std::uint16_t id, std::uint16_t seq,
+                   util::ByteBuffer data, std::uint8_t ttl) {
+    const auto msg = IcmpMessage::echo_request(id, seq, std::move(data));
+    const auto wire = encode_icmp(msg);
+    SendOptions opts;
+    opts.ttl = ttl;
+    return send(kProtoIcmp, dst, wire, opts);
+}
+
+// Fragments (if permitted and necessary) and hands wire datagrams to the
+// egress interface.
+bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> payload,
+                       const Route& route) {
+    auto& iface = interfaces_.at(route.ifindex);
+    if (!iface.netif->is_up()) {
+        ++stats_.dropped_iface_down;
+        return false;
+    }
+    const util::Ipv4Address next_hop =
+        route.next_hop.is_unspecified() ? header.dst : route.next_hop;
+    const std::size_t mtu = iface.netif->mtu();
+
+    if (kIpv4HeaderSize + payload.size() <= mtu) {
+        auto wire = encode_datagram(header, payload);
+        iface.netif->send(link::make_packet(std::move(wire), sim_.now()), next_hop);
+        return true;
+    }
+
+    if (header.dont_fragment) {
+        // Cannot fragment: report back (only meaningful when forwarding;
+        // locally we just fail the send).
+        return false;
+    }
+
+    // Fragment: payload chunks of the largest multiple of 8 that fits.
+    const std::size_t chunk = ((mtu - kIpv4HeaderSize) / 8) * 8;
+    if (chunk == 0) return false;
+    const std::size_t base_offset = header.payload_offset_bytes();
+    for (std::size_t pos = 0; pos < payload.size(); pos += chunk) {
+        const std::size_t len = std::min(chunk, payload.size() - pos);
+        Ipv4Header frag = header;
+        frag.fragment_offset = static_cast<std::uint16_t>((base_offset + pos) / 8);
+        frag.more_fragments = header.more_fragments || (pos + len < payload.size());
+        auto wire = encode_datagram(frag, payload.subspan(pos, len));
+        ++stats_.fragments_created;
+        iface.netif->send(link::make_packet(std::move(wire), sim_.now()), next_hop);
+    }
+    return true;
+}
+
+void IpStack::receive(std::size_t ifindex, link::Packet packet) {
+    if (down_) return;
+    ++stats_.datagrams_received;
+
+    DecodedDatagram d;
+    try {
+        if (!decode_datagram(packet.bytes, d)) {
+            ++stats_.dropped_bad_checksum;
+            if (trace_) trace_("drop", d.header, packet.size());
+            return;
+        }
+    } catch (const util::DecodeError&) {
+        ++stats_.dropped_malformed;
+        return;
+    }
+    if (trace_) trace_("rx", d.header, packet.size());
+
+    const auto payload = payload_of(packet.bytes, d);
+
+    if (is_local_address(d.header.dst) || d.header.dst == kBroadcastAddress) {
+        if (d.header.is_fragment()) {
+            auto completed = reassembler_.add_fragment(d.header, payload);
+            if (!completed) return;
+            deliver_local(d.header, *completed, ifindex);
+        } else {
+            deliver_local(d.header, payload, ifindex);
+        }
+        return;
+    }
+
+    if (!forwarding_) {
+        ++stats_.dropped_not_for_us;
+        return;
+    }
+    forward(d.header, packet.bytes, ifindex);
+}
+
+void IpStack::deliver_local(const Ipv4Header& header, std::span<const std::uint8_t> payload,
+                            std::size_t ifindex) {
+    ++stats_.delivered_locally;
+    if (trace_) trace_("deliver", header, kIpv4HeaderSize + payload.size());
+    if (header.protocol == kProtoIcmp) {
+        handle_icmp(header, payload);
+    }
+    auto it = protocols_.find(header.protocol);
+    if (it != protocols_.end()) {
+        it->second(header, payload, ifindex);
+    } else if (header.protocol != kProtoIcmp) {
+        send_icmp_error(IcmpType::DestinationUnreachable, kUnreachProtocol,
+                        // Reconstruct enough of the offending datagram.
+                        encode_datagram(header, payload.subspan(
+                                            0, std::min<std::size_t>(payload.size(), 8))));
+    }
+}
+
+void IpStack::forward(const Ipv4Header& header, std::span<const std::uint8_t> wire,
+                      std::size_t in_ifindex) {
+    (void)in_ifindex;
+    if (header.ttl <= 1) {
+        ++stats_.dropped_ttl_expired;
+        if (trace_) trace_("drop", header, wire.size());
+        send_icmp_error(IcmpType::TimeExceeded, 0, wire);
+        return;
+    }
+    const auto route = routes_.lookup(header.dst);
+    if (!route) {
+        ++stats_.dropped_no_route;
+        if (trace_) trace_("drop", header, wire.size());
+        send_icmp_error(IcmpType::DestinationUnreachable, kUnreachNet, wire);
+        return;
+    }
+
+    Ipv4Header out = header;
+    out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
+    const auto payload = wire.subspan(kIpv4HeaderSize, header.total_length - kIpv4HeaderSize);
+
+    auto& iface = interfaces_.at(route->ifindex);
+    const std::size_t mtu = iface.netif->mtu();
+    if (out.dont_fragment && kIpv4HeaderSize + payload.size() > mtu) {
+        send_icmp_error(IcmpType::DestinationUnreachable, kUnreachFragNeeded, wire);
+        return;
+    }
+    if (transmit(out, payload, *route)) {
+        ++stats_.forwarded;
+        if (trace_) trace_("fwd", out, wire.size());
+        if (forward_tap_) forward_tap_(out, wire.size());
+    }
+}
+
+void IpStack::handle_icmp(const Ipv4Header& header, std::span<const std::uint8_t> payload) {
+    auto msg = decode_icmp(payload);
+    if (!msg) return;
+    switch (msg->type) {
+        case IcmpType::EchoRequest: {
+            const auto reply = IcmpMessage::echo_reply(*msg);
+            SendOptions opts;
+            opts.source = header.dst;
+            send(kProtoIcmp, header.src, encode_icmp(reply), opts);
+            break;
+        }
+        case IcmpType::DestinationUnreachable:
+        case IcmpType::SourceQuench:
+        case IcmpType::TimeExceeded:
+            for (const auto& handler : icmp_error_handlers_) handler(*msg, header.src);
+            break;
+        default:
+            break;
+    }
+}
+
+void IpStack::send_icmp_error(IcmpType type, std::uint8_t code,
+                              std::span<const std::uint8_t> offending_wire) {
+    // RFC 1122 restraint: never generate errors about ICMP errors or about
+    // non-first fragments.
+    try {
+        DecodedDatagram d;
+        if (!decode_datagram(offending_wire, d)) return;
+        if (d.header.fragment_offset != 0) return;
+        if (d.header.dst == kBroadcastAddress) return;  // never error on broadcasts
+        if (d.header.protocol == kProtoIcmp) {
+            auto inner = decode_icmp(payload_of(offending_wire, d));
+            if (inner && inner->type != IcmpType::EchoRequest &&
+                inner->type != IcmpType::EchoReply) {
+                return;
+            }
+        }
+        const auto msg = IcmpMessage::error(type, code, offending_wire);
+        if (send(kProtoIcmp, d.header.src, encode_icmp(msg))) {
+            ++stats_.icmp_errors_sent;
+        }
+    } catch (const util::DecodeError&) {
+        // Too mangled to attribute; stay silent.
+    }
+}
+
+}  // namespace catenet::ip

@@ -1,0 +1,193 @@
+// The internet layer of one node: datagram send/receive, forwarding,
+// fragmentation, reassembly, ICMP. This is the architectural centerpiece:
+// a *gateway* in this library is nothing but an IpStack with forwarding
+// enabled — it holds a routing table and queues, and deliberately **no
+// per-connection state of any kind** (fate-sharing). Crashing one loses
+// packets in flight and nothing else; experiments E1/E8 depend on that
+// being structurally true, not merely configured.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ip/icmp.h"
+#include "ip/ipv4_header.h"
+#include "ip/reassembly.h"
+#include "ip/routing_table.h"
+#include "link/netif.h"
+#include "sim/simulator.h"
+
+namespace catenet::ip {
+
+/// The limited-broadcast address; delivered on-link, never forwarded.
+inline constexpr util::Ipv4Address kBroadcastAddress{0xffffffffu};
+
+struct IpStats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t delivered_locally = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped_bad_checksum = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_ttl_expired = 0;
+    std::uint64_t dropped_iface_down = 0;
+    std::uint64_t dropped_not_for_us = 0;
+    std::uint64_t fragments_created = 0;
+    std::uint64_t icmp_errors_sent = 0;
+    std::uint64_t source_quenches_sent = 0;
+};
+
+/// Options for an outbound datagram.
+struct SendOptions {
+    std::uint8_t tos = 0;
+    std::uint8_t ttl = 64;
+    bool dont_fragment = false;
+    /// Unspecified = pick the outgoing interface's address.
+    util::Ipv4Address source;
+};
+
+class IpStack {
+public:
+    /// Handler for a protocol's inbound datagrams (payload fully
+    /// reassembled). `ifindex` is where the datagram arrived.
+    using ProtocolHandler =
+        std::function<void(const Ipv4Header&, std::span<const std::uint8_t> payload,
+                           std::size_t ifindex)>;
+
+    /// Observer for inbound ICMP errors (delivered in addition to any
+    /// registered ICMP protocol handling).
+    using IcmpErrorHandler =
+        std::function<void(const IcmpMessage&, util::Ipv4Address from)>;
+
+    IpStack(sim::Simulator& sim, std::string name);
+
+    /// Attaches an interface with its address and on-link subnet. Installs
+    /// a connected route and begins receiving. Returns the ifindex.
+    std::size_t add_interface(link::NetIf& netif, util::Ipv4Address addr,
+                              util::Ipv4Prefix subnet);
+
+    std::size_t interface_count() const noexcept { return interfaces_.size(); }
+    link::NetIf& interface(std::size_t ifindex) { return *interfaces_.at(ifindex).netif; }
+    util::Ipv4Address interface_address(std::size_t ifindex) const {
+        return interfaces_.at(ifindex).address;
+    }
+
+    /// First interface address — a convenient node identity for hosts.
+    util::Ipv4Address primary_address() const;
+
+    /// Hosts: off (default). Gateways: on.
+    void set_forwarding(bool on) noexcept { forwarding_ = on; }
+    bool forwarding() const noexcept { return forwarding_; }
+
+    /// Node failure injection. A down stack discards everything silently;
+    /// bringing it back up clears reassembly buffers (memory lost in the
+    /// crash) but keeps the routing table (assumed in stable storage) —
+    /// callers can flush_routes() to model losing that too.
+    void set_down(bool down);
+    bool is_down() const noexcept { return down_; }
+    void flush_routes();
+
+    void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
+
+    /// Adds an inbound ICMP-error observer (multiple allowed: transports
+    /// and diagnostics both listen).
+    void add_icmp_error_handler(IcmpErrorHandler handler) {
+        icmp_error_handlers_.push_back(std::move(handler));
+    }
+    /// Back-compat alias for add_icmp_error_handler.
+    void set_icmp_error_handler(IcmpErrorHandler handler) {
+        add_icmp_error_handler(std::move(handler));
+    }
+
+    /// Gateways: emit ICMP Source Quench to the traffic source when an
+    /// egress queue drops a forwarded datagram (RFC 792's congestion
+    /// signal, rate-limited). Off by default — it is itself a design
+    /// choice the benchmarks ablate.
+    void set_source_quench(bool on, sim::Time min_interval = sim::milliseconds(50));
+
+    /// Sends a payload as one datagram (fragmenting as needed for the
+    /// egress MTU). Returns false when there is no route or the stack or
+    /// egress interface is down — exactly the cases where a real stack
+    /// fails synchronously; all other losses are silent, downstream, and
+    /// the sender's problem to recover from (end-to-end argument).
+    bool send(std::uint8_t protocol, util::Ipv4Address dst,
+              std::span<const std::uint8_t> payload, const SendOptions& options = {});
+
+    /// Sends a payload as a link-local broadcast (dst 255.255.255.255)
+    /// directly out one interface. Broadcasts are delivered to every node
+    /// on that network and never forwarded — the routing protocols use
+    /// this to reach their neighbors.
+    bool send_broadcast(std::uint8_t protocol, std::size_t ifindex,
+                        std::span<const std::uint8_t> payload, const SendOptions& options = {});
+
+    /// Sends an ICMP echo request; replies surface via the error handler
+    /// or a protocol handler registered for ICMP. `ttl` below the path
+    /// length provokes Time Exceeded from the expiring gateway — the
+    /// mechanism traceroute is built on.
+    bool ping(util::Ipv4Address dst, std::uint16_t id, std::uint16_t seq,
+              util::ByteBuffer data = {}, std::uint8_t ttl = 64);
+
+    RoutingTable& routing_table() noexcept { return routes_; }
+    const RoutingTable& routing_table() const noexcept { return routes_; }
+
+    const IpStats& stats() const noexcept { return stats_; }
+    const ReassemblyStats& reassembly_stats() const noexcept { return reassembler_.stats(); }
+    const std::string& name() const noexcept { return name_; }
+    sim::Simulator& simulator() noexcept { return sim_; }
+
+    /// True if `addr` is bound to any of this stack's interfaces.
+    bool is_local_address(util::Ipv4Address addr) const;
+
+    /// Observation hook on the forwarding path (gateway accounting, E7).
+    /// Receives the already-decoded header and the datagram's wire size.
+    using ForwardTap = std::function<void(const Ipv4Header&, std::size_t wire_bytes)>;
+    void set_forward_tap(ForwardTap tap) { forward_tap_ = std::move(tap); }
+
+    /// Full-stack event trace (tcpdump-style; see ip/trace.h). Fires on
+    /// tx / rx / deliver / fwd / drop with the decoded header.
+    using TraceHook = std::function<void(const char* event, const Ipv4Header&,
+                                         std::size_t wire_bytes)>;
+    void set_trace(TraceHook trace) { trace_ = std::move(trace); }
+
+private:
+    struct Interface {
+        link::NetIf* netif;
+        util::Ipv4Address address;
+        util::Ipv4Prefix subnet;
+    };
+
+    void receive(std::size_t ifindex, link::Packet packet);
+    void deliver_local(const Ipv4Header& header, std::span<const std::uint8_t> payload,
+                       std::size_t ifindex);
+    void forward(const Ipv4Header& header, std::span<const std::uint8_t> wire,
+                 std::size_t in_ifindex);
+    bool transmit(const Ipv4Header& header, std::span<const std::uint8_t> payload,
+                  const Route& route);
+    void handle_icmp(const Ipv4Header& header, std::span<const std::uint8_t> payload);
+    void send_icmp_error(IcmpType type, std::uint8_t code,
+                         std::span<const std::uint8_t> offending_wire);
+
+    sim::Simulator& sim_;
+    std::string name_;
+    std::vector<Interface> interfaces_;
+    RoutingTable routes_;
+    Reassembler reassembler_;
+    std::unordered_map<std::uint8_t, ProtocolHandler> protocols_;
+    std::vector<IcmpErrorHandler> icmp_error_handlers_;
+    ForwardTap forward_tap_;
+    TraceHook trace_;
+    IpStats stats_;
+    bool source_quench_ = false;
+    sim::Time quench_min_interval_;
+    sim::Time last_quench_;
+    std::uint16_t next_identification_ = 1;
+    bool forwarding_ = false;
+    bool down_ = false;
+};
+
+}  // namespace catenet::ip

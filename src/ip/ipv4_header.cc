@@ -1,0 +1,68 @@
+#include "ip/ipv4_header.h"
+
+#include "util/checksum.h"
+
+namespace catenet::ip {
+
+util::ByteBuffer encode_datagram(const Ipv4Header& header,
+                                 std::span<const std::uint8_t> payload) {
+    const auto total = kIpv4HeaderSize + payload.size();
+    if (total > 0xffff) {
+        throw std::length_error("IPv4 datagram exceeds 65535 bytes");
+    }
+    util::BufferWriter w(total);
+    w.put_u8(0x45);  // version 4, IHL 5 words
+    w.put_u8(header.tos);
+    w.put_u16(static_cast<std::uint16_t>(total));
+    w.put_u16(header.identification);
+    std::uint16_t frag = header.fragment_offset & 0x1fff;
+    if (header.dont_fragment) frag |= 0x4000;
+    if (header.more_fragments) frag |= 0x2000;
+    w.put_u16(frag);
+    w.put_u8(header.ttl);
+    w.put_u8(header.protocol);
+    w.put_u16(0);  // checksum placeholder
+    w.put_u32(header.src.value());
+    w.put_u32(header.dst.value());
+    const auto checksum = util::internet_checksum(
+        std::span<const std::uint8_t>(w.data().data(), kIpv4HeaderSize));
+    w.patch_u16(10, checksum);
+    w.put_bytes(payload);
+    return w.take();
+}
+
+bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out) {
+    util::BufferReader r(wire);
+    const std::uint8_t version_ihl = r.get_u8();
+    if ((version_ihl >> 4) != 4) {
+        throw util::DecodeError("not an IPv4 datagram");
+    }
+    const auto header_len = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+    if (header_len < kIpv4HeaderSize || header_len > wire.size()) {
+        throw util::DecodeError("bad IHL");
+    }
+    Ipv4Header& h = out.header;
+    h.tos = r.get_u8();
+    h.total_length = r.get_u16();
+    if (h.total_length < header_len || h.total_length > wire.size()) {
+        throw util::DecodeError("bad total length");
+    }
+    h.identification = r.get_u16();
+    const std::uint16_t frag = r.get_u16();
+    h.dont_fragment = (frag & 0x4000) != 0;
+    h.more_fragments = (frag & 0x2000) != 0;
+    h.fragment_offset = frag & 0x1fff;
+    h.ttl = r.get_u8();
+    h.protocol = r.get_u8();
+    r.get_u16();  // checksum (validated over the whole header below)
+    h.src = util::Ipv4Address(r.get_u32());
+    h.dst = util::Ipv4Address(r.get_u32());
+
+    out.header_length = header_len;
+    out.payload_offset = header_len;
+    out.payload_length = h.total_length - header_len;
+
+    return util::checksum_valid(wire.subspan(0, header_len));
+}
+
+}  // namespace catenet::ip

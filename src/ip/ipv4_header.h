@@ -1,0 +1,65 @@
+// RFC 791 IPv4 header, encoded to and decoded from real wire format with a
+// real header checksum. Options are not generated; received options are
+// skipped per the IHL field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/byte_buffer.h"
+#include "util/ip_address.h"
+
+namespace catenet::ip {
+
+/// Fixed header size without options.
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+
+/// Maximum datagram the architecture promises to carry end to end without
+/// fragmentation (RFC 791's 576-octet guarantee).
+inline constexpr std::size_t kMinReassemblyBuffer = 576;
+
+struct Ipv4Header {
+    // version is implicitly 4; ihl is derived from options (none here).
+    std::uint8_t tos = 0;
+    std::uint16_t total_length = 0;  ///< header + payload, filled by encode
+    std::uint16_t identification = 0;
+    bool dont_fragment = false;
+    bool more_fragments = false;
+    std::uint16_t fragment_offset = 0;  ///< in 8-octet units
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = 0;
+    util::Ipv4Address src;
+    util::Ipv4Address dst;
+
+    bool is_fragment() const noexcept { return more_fragments || fragment_offset != 0; }
+
+    /// Byte offset of this fragment's payload within the original datagram.
+    std::size_t payload_offset_bytes() const noexcept {
+        return std::size_t{fragment_offset} * 8;
+    }
+};
+
+/// Serializes header + payload into a wire-format datagram. Computes
+/// total_length and the header checksum.
+util::ByteBuffer encode_datagram(const Ipv4Header& header,
+                                 std::span<const std::uint8_t> payload);
+
+struct DecodedDatagram {
+    Ipv4Header header;
+    std::size_t header_length = 0;  ///< bytes, including options
+    std::size_t payload_offset = 0;
+    std::size_t payload_length = 0;
+};
+
+/// Parses and validates a wire-format datagram. Throws util::DecodeError
+/// on malformed input; returns false (no throw) when only the header
+/// checksum fails — the usual "corrupted in flight" case callers count.
+bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out);
+
+/// Payload view into a wire buffer previously decoded.
+inline std::span<const std::uint8_t> payload_of(std::span<const std::uint8_t> wire,
+                                                const DecodedDatagram& d) {
+    return wire.subspan(d.payload_offset, d.payload_length);
+}
+
+}  // namespace catenet::ip

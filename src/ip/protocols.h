@@ -1,0 +1,18 @@
+// IP protocol numbers used in this internet. ICMP/TCP/UDP/EGP carry their
+// IANA values; the distance-vector protocol uses a number from the
+// unassigned range (documented simulator convention — real RIP rides UDP,
+// but running routing directly over IP keeps the layering of the original
+// gateway implementations, which spoke GGP/EGP directly over IP).
+#pragma once
+
+#include <cstdint>
+
+namespace catenet::ip {
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoEgp = 8;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kProtoDistanceVector = 103;
+
+}  // namespace catenet::ip

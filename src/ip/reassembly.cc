@@ -1,0 +1,75 @@
+#include "ip/reassembly.h"
+
+#include <algorithm>
+
+namespace catenet::ip {
+
+Reassembler::Reassembler(sim::Simulator& sim, sim::Time timeout)
+    : sim_(sim), timeout_(timeout) {}
+
+std::optional<util::ByteBuffer> Reassembler::add_fragment(
+    const Ipv4Header& header, std::span<const std::uint8_t> payload) {
+    expire(sim_.now());
+    ++stats_.fragments_received;
+
+    const Key key{header.src.value(), header.dst.value(), header.protocol,
+                  header.identification};
+    Buffer& buf = buffers_[key];
+    if (buf.received.empty()) {
+        buf.deadline = sim_.now() + timeout_;
+    }
+
+    const std::size_t offset = header.payload_offset_bytes();
+    insert_range(buf, offset, payload);
+    if (!header.more_fragments) {
+        buf.total_length = offset + payload.size();
+    }
+
+    if (!complete(buf)) return std::nullopt;
+
+    util::ByteBuffer out = std::move(buf.data);
+    out.resize(*buf.total_length);
+    buffers_.erase(key);
+    ++stats_.datagrams_completed;
+    return out;
+}
+
+void Reassembler::insert_range(Buffer& buf, std::size_t offset,
+                               std::span<const std::uint8_t> bytes) {
+    if (bytes.empty()) return;
+    const std::size_t end = offset + bytes.size();
+    if (buf.data.size() < end) buf.data.resize(end);
+    std::copy(bytes.begin(), bytes.end(), buf.data.begin() + static_cast<std::ptrdiff_t>(offset));
+
+    // Merge [offset, end) into the coalesced range list.
+    buf.received.push_back({offset, end});
+    std::sort(buf.received.begin(), buf.received.end(),
+              [](const Buffer::Span& a, const Buffer::Span& b) { return a.first < b.first; });
+    std::vector<Buffer::Span> merged;
+    for (const auto& span : buf.received) {
+        if (!merged.empty() && span.first <= merged.back().last) {
+            merged.back().last = std::max(merged.back().last, span.last);
+        } else {
+            merged.push_back(span);
+        }
+    }
+    buf.received = std::move(merged);
+}
+
+bool Reassembler::complete(const Buffer& buf) const {
+    return buf.total_length && buf.received.size() == 1 && buf.received.front().first == 0 &&
+           buf.received.front().last >= *buf.total_length;
+}
+
+void Reassembler::expire(sim::Time now) {
+    for (auto it = buffers_.begin(); it != buffers_.end();) {
+        if (it->second.deadline <= now) {
+            it = buffers_.erase(it);
+            ++stats_.timeouts;
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace catenet::ip

@@ -1,0 +1,73 @@
+// Datagram reassembly (RFC 791 §3.2). Fragments are keyed by
+// (src, dst, protocol, identification); partial datagrams are discarded
+// after a timeout — classic soft state: losing a reassembly buffer costs
+// one datagram, never a connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ip/ipv4_header.h"
+#include "sim/simulator.h"
+#include "util/byte_buffer.h"
+
+namespace catenet::ip {
+
+struct ReassemblyStats {
+    std::uint64_t fragments_received = 0;
+    std::uint64_t datagrams_completed = 0;
+    std::uint64_t timeouts = 0;
+};
+
+class Reassembler {
+public:
+    Reassembler(sim::Simulator& sim, sim::Time timeout = sim::seconds(15));
+
+    /// Adds a fragment. Returns the reassembled payload when this fragment
+    /// completed the datagram, nullopt otherwise. `header` must describe a
+    /// fragment (callers pass unfragmented datagrams straight through).
+    std::optional<util::ByteBuffer> add_fragment(const Ipv4Header& header,
+                                                 std::span<const std::uint8_t> payload);
+
+    std::size_t pending() const noexcept { return buffers_.size(); }
+    const ReassemblyStats& stats() const noexcept { return stats_; }
+
+    /// Drops all partial datagrams (node restart).
+    void clear() { buffers_.clear(); }
+
+private:
+    struct Key {
+        std::uint32_t src;
+        std::uint32_t dst;
+        std::uint8_t protocol;
+        std::uint16_t identification;
+        auto operator<=>(const Key&) const = default;
+    };
+
+    struct Buffer {
+        // Received byte ranges [first, last) with their data.
+        struct Span {
+            std::size_t first;
+            std::size_t last;
+        };
+        util::ByteBuffer data;          // grows as fragments land
+        std::vector<Span> received;     // coalesced ranges
+        std::optional<std::size_t> total_length;  // known once MF=0 arrives
+        sim::Time deadline;
+    };
+
+    void insert_range(Buffer& buf, std::size_t offset, std::span<const std::uint8_t> bytes);
+    bool complete(const Buffer& buf) const;
+    void expire(sim::Time now);
+
+    sim::Simulator& sim_;
+    sim::Time timeout_;
+    std::map<Key, Buffer> buffers_;
+    ReassemblyStats stats_;
+};
+
+}  // namespace catenet::ip

@@ -1,0 +1,49 @@
+#include "ip/routing_table.h"
+
+#include <algorithm>
+
+namespace catenet::ip {
+
+void RoutingTable::install(const Route& route) {
+    auto it = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
+        return r.prefix == route.prefix;
+    });
+    if (it != routes_.end()) {
+        *it = route;
+        return;
+    }
+    // Insert keeping descending-prefix-length order.
+    auto pos = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
+        return r.prefix.length() < route.prefix.length();
+    });
+    routes_.insert(pos, route);
+}
+
+bool RoutingTable::remove(const util::Ipv4Prefix& prefix) {
+    auto it = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
+        return r.prefix == prefix;
+    });
+    if (it == routes_.end()) return false;
+    routes_.erase(it);
+    return true;
+}
+
+void RoutingTable::remove_by_origin(const std::string& origin) {
+    std::erase_if(routes_, [&](const Route& r) { return r.origin == origin; });
+}
+
+std::optional<Route> RoutingTable::lookup(util::Ipv4Address dst) const {
+    for (const Route& r : routes_) {
+        if (r.prefix.contains(dst)) return r;
+    }
+    return std::nullopt;
+}
+
+std::optional<Route> RoutingTable::find(const util::Ipv4Prefix& prefix) const {
+    for (const Route& r : routes_) {
+        if (r.prefix == prefix) return r;
+    }
+    return std::nullopt;
+}
+
+}  // namespace catenet::ip

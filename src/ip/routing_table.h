@@ -1,0 +1,53 @@
+// Longest-prefix-match forwarding table. Shared by hosts (usually one
+// connected route plus a default) and gateways (populated statically or by
+// the routing protocols in src/routing/).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ip_address.h"
+
+namespace catenet::ip {
+
+struct Route {
+    util::Ipv4Prefix prefix;
+    /// Unspecified means "directly connected": forward to the destination
+    /// itself on the output interface.
+    util::Ipv4Address next_hop;
+    std::size_t ifindex = 0;
+    /// Routing-protocol metric (hop count for DV); 0 for connected/static.
+    std::uint32_t metric = 0;
+    /// Provenance tag: "connected", "static", "dv", "egp". Distributed-
+    /// management experiments use this to audit who installed what.
+    std::string origin = "static";
+};
+
+class RoutingTable {
+public:
+    /// Installs or replaces the route for exactly this prefix.
+    void install(const Route& route);
+
+    /// Removes the route for exactly this prefix; returns whether found.
+    bool remove(const util::Ipv4Prefix& prefix);
+
+    /// Removes every route whose origin matches (e.g. flush "dv" routes).
+    void remove_by_origin(const std::string& origin);
+
+    /// Longest-prefix match.
+    std::optional<Route> lookup(util::Ipv4Address dst) const;
+
+    /// Exact-prefix fetch (for routing protocols comparing metrics).
+    std::optional<Route> find(const util::Ipv4Prefix& prefix) const;
+
+    const std::vector<Route>& routes() const noexcept { return routes_; }
+    std::size_t size() const noexcept { return routes_.size(); }
+
+private:
+    // Kept sorted by descending prefix length so lookup is first-match.
+    std::vector<Route> routes_;
+};
+
+}  // namespace catenet::ip

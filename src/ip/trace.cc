@@ -1,0 +1,41 @@
+#include "ip/trace.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "ip/protocols.h"
+
+namespace catenet::ip {
+
+std::string protocol_name(std::uint8_t protocol) {
+    switch (protocol) {
+        case kProtoIcmp: return "ICMP";
+        case kProtoTcp: return "TCP";
+        case kProtoUdp: return "UDP";
+        case kProtoEgp: return "EGP";
+        case kProtoDistanceVector: return "DV";
+        default: return std::to_string(protocol);
+    }
+}
+
+TraceFn make_text_tracer(std::ostream& os, std::string name,
+                         const sim::Simulator& sim) {
+    return [&os, name = std::move(name), &sim](const char* event,
+                                                const Ipv4Header& header,
+                                                std::size_t wire_bytes) {
+        os << "[" << std::fixed << std::setprecision(6) << std::setw(11)
+           << sim.now().seconds() << "] " << name << " "
+           << std::left << std::setw(7) << event << std::right << " "
+           << header.src.to_string() << " > " << header.dst.to_string() << " "
+           << protocol_name(header.protocol) << " " << wire_bytes << "B ttl="
+           << int(header.ttl);
+        if (header.tos != 0) os << " tos=0x" << std::hex << int(header.tos) << std::dec;
+        if (header.is_fragment()) {
+            os << " frag=" << header.payload_offset_bytes()
+               << (header.more_fragments ? "+" : "$");
+        }
+        os << "\n";
+    };
+}
+
+}  // namespace catenet::ip

@@ -1,0 +1,33 @@
+// Packet tracing: a tcpdump-style, human-readable line per datagram event
+// at a node's IP layer. Attach with IpStack::set_trace(make_text_tracer(...))
+// to watch a node's traffic; tests attach lambdas to assert on events.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "ip/ipv4_header.h"
+#include "sim/simulator.h"
+
+namespace catenet::ip {
+
+/// Event kinds reported by the stack. "tx" = first transmission of a
+/// locally originated datagram, "rx" = arrived from a network, "deliver"
+/// = handed to a local protocol, "fwd" = forwarded toward the next hop,
+/// "drop" = discarded (bad checksum, no route, TTL, down).
+using TraceFn = std::function<void(const char* event, const Ipv4Header& header,
+                                   std::size_t wire_bytes)>;
+
+/// Formats one line per event to `os`:
+///   [  1.234567] name fwd  10.0.1.1 > 10.0.3.2 TCP 1460B ttl=63 tos=0x00
+/// Ports are not parsed here (the stack traces at the IP layer); transport
+/// detail belongs to the transport's own tracing.
+TraceFn make_text_tracer(std::ostream& os, std::string name,
+                         const sim::Simulator& sim);
+
+/// Protocol number -> short name ("TCP", "UDP", "ICMP", "EGP", or the
+/// number in decimal).
+std::string protocol_name(std::uint8_t protocol);
+
+}  // namespace catenet::ip

@@ -1,0 +1,8 @@
+#include "link/netif.h"
+
+// NetIf is header-only today; this translation unit anchors the vtable.
+namespace catenet::link {
+namespace {
+// Intentionally empty.
+}
+}  // namespace catenet::link

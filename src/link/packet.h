@@ -1,0 +1,52 @@
+// The unit the link layer carries: a byte buffer (a serialized IP datagram
+// or VC frame) plus simulation bookkeeping. The bookkeeping fields never
+// travel "on the wire" conceptually — they are what a real node would
+// compute locally (enqueue timestamps) or what the tracing harness needs
+// (unique ids); protocol behaviour depends only on `bytes`.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/time.h"
+#include "util/byte_buffer.h"
+
+namespace catenet::link {
+
+struct Packet {
+    util::ByteBuffer bytes;
+
+    /// Global trace id, assigned at creation.
+    std::uint64_t uid = 0;
+
+    /// When the packet was created (for end-to-end latency measurement).
+    sim::Time created;
+
+    /// When the packet was last enqueued (for queueing-delay measurement).
+    sim::Time enqueued;
+
+    std::size_t size() const noexcept { return bytes.size(); }
+};
+
+/// Allocates trace ids. One instance per scenario is typical but a global
+/// default keeps casual use simple.
+class PacketIdAllocator {
+public:
+    std::uint64_t next() noexcept { return ++last_; }
+
+private:
+    std::uint64_t last_ = 0;
+};
+
+PacketIdAllocator& default_packet_ids() noexcept;
+
+inline Packet make_packet(util::ByteBuffer bytes, sim::Time now) {
+    Packet p;
+    p.bytes = std::move(bytes);
+    p.uid = default_packet_ids().next();
+    p.created = now;
+    p.enqueued = now;
+    return p;
+}
+
+}  // namespace catenet::link

@@ -1,0 +1,161 @@
+#include "link/point_to_point.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+namespace catenet::link {
+
+// One direction of the duplex link: owns the egress queue and the
+// transmitter state machine, and knows its peer so it can deliver.
+class PointToPointLink::Port final : public NetIf {
+public:
+    Port(PointToPointLink& link, LinkParams params, std::string name)
+        : link_(link),
+          params_(params),
+          name_(std::move(name)),
+          queue_(std::make_unique<DropTailQueue>(params.queue_capacity_packets)) {}
+
+    std::size_t mtu() const noexcept override { return params_.mtu; }
+    const std::string& name() const noexcept override { return name_; }
+
+    void send(Packet packet, util::Ipv4Address /*next_hop*/) override {
+        if (!up_ || !link_.up_) {
+            ++stats_.send_failures;
+            return;
+        }
+        packet.enqueued = link_.sim_.now();
+        // PacketQueue contract: on rejection the argument is untouched, so
+        // the drop observer can still inspect it.
+        if (!queue_->enqueue(std::move(packet))) {
+            notify_drop(packet);
+            return;
+        }
+        if (!transmitting_) start_transmission();
+    }
+
+    void set_up(bool up) override {
+        NetIf::set_up(up);
+        if (!up) queue_->clear();
+    }
+
+    void set_peer(Port* peer) noexcept { peer_ = peer; }
+    void set_queue(std::unique_ptr<PacketQueue> q) { queue_ = std::move(q); }
+    PacketQueue& queue() noexcept { return *queue_; }
+    const ChannelStats& channel_stats() const noexcept { return channel_stats_; }
+    void flush() { queue_->clear(); }
+
+    void receive_from_peer(Packet packet) { deliver(std::move(packet)); }
+
+private:
+    void start_transmission() {
+        auto next = queue_->dequeue();
+        if (!next) return;
+        transmitting_ = true;
+        const auto tx = params_.transmission_time(next->size());
+        // Capture by shared_ptr: the packet outlives this scope until the
+        // delivery event fires.
+        auto pkt = std::make_shared<Packet>(std::move(*next));
+        link_.sim_.schedule_after(tx, [this, pkt] {
+            finish_transmission(std::move(*pkt));
+        });
+        ++stats_.packets_sent;
+        stats_.bytes_sent += pkt->size();
+    }
+
+    void finish_transmission(Packet packet) {
+        transmitting_ = false;
+        propagate(std::move(packet));
+        start_transmission();  // clock out the next queued packet, if any
+    }
+
+    void propagate(Packet packet) {
+        if (!link_.up_) {
+            // In-flight at the moment of failure: lost.
+            ++channel_stats_.packets_lost;
+            return;
+        }
+        if (link_.rng_.chance(params_.drop_probability)) {
+            ++channel_stats_.packets_lost;
+            return;
+        }
+        maybe_corrupt(packet);
+        sim::Time delay = params_.propagation_delay;
+        if (params_.jitter > sim::Time(0)) {
+            delay += sim::Time(static_cast<std::int64_t>(
+                link_.rng_.uniform(0, static_cast<std::uint64_t>(params_.jitter.nanos()))));
+        }
+        auto pkt = std::make_shared<Packet>(std::move(packet));
+        link_.sim_.schedule_after(delay, [this, pkt] {
+            if (peer_ != nullptr && link_.up_) peer_->receive_from_peer(std::move(*pkt));
+        });
+    }
+
+    void maybe_corrupt(Packet& packet) {
+        if (params_.bit_error_rate <= 0.0 || packet.bytes.empty()) return;
+        const double bits = static_cast<double>(packet.size()) * 8.0;
+        // P(any bit flips) = 1 - (1 - ber)^bits; for the small rates we
+        // model, flipping one to three random bits on a hit is faithful.
+        const double p_hit = 1.0 - std::pow(1.0 - params_.bit_error_rate, bits);
+        if (!link_.rng_.chance(p_hit)) return;
+        ++channel_stats_.packets_corrupted;
+        const auto flips = link_.rng_.uniform(1, 3);
+        for (std::uint64_t i = 0; i < flips; ++i) {
+            const auto bit = link_.rng_.uniform(0, packet.size() * 8 - 1);
+            packet.bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+    }
+
+    PointToPointLink& link_;
+    LinkParams params_;
+    std::string name_;
+    std::unique_ptr<PacketQueue> queue_;
+    Port* peer_ = nullptr;
+    bool transmitting_ = false;
+    ChannelStats channel_stats_;
+};
+
+PointToPointLink::PointToPointLink(sim::Simulator& sim, util::Rng& parent_rng,
+                                   const LinkParams& params, std::string name)
+    : PointToPointLink(sim, parent_rng, params, params, std::move(name)) {}
+
+PointToPointLink::PointToPointLink(sim::Simulator& sim, util::Rng& parent_rng,
+                                   const LinkParams& a_to_b, const LinkParams& b_to_a,
+                                   std::string name)
+    : sim_(sim), rng_(parent_rng.fork()) {
+    a_ = std::make_unique<Port>(*this, a_to_b, name + ":a");
+    b_ = std::make_unique<Port>(*this, b_to_a, name + ":b");
+    a_->set_peer(b_.get());
+    b_->set_peer(a_.get());
+}
+
+PointToPointLink::~PointToPointLink() = default;
+
+NetIf& PointToPointLink::port_a() noexcept { return *a_; }
+NetIf& PointToPointLink::port_b() noexcept { return *b_; }
+
+void PointToPointLink::set_up(bool up) {
+    up_ = up;
+    // Carrier state is visible at both attachments: a cut cable reads as a
+    // dead interface, which routing protocols use to withdraw routes.
+    a_->set_up(up);
+    b_->set_up(up);
+    if (!up) {
+        a_->flush();
+        b_->flush();
+    }
+}
+
+const ChannelStats& PointToPointLink::stats_a_to_b() const noexcept {
+    return a_->channel_stats();
+}
+const ChannelStats& PointToPointLink::stats_b_to_a() const noexcept {
+    return b_->channel_stats();
+}
+
+void PointToPointLink::set_queue_a(std::unique_ptr<PacketQueue> q) { a_->set_queue(std::move(q)); }
+void PointToPointLink::set_queue_b(std::unique_ptr<PacketQueue> q) { b_->set_queue(std::move(q)); }
+PacketQueue& PointToPointLink::queue_a() noexcept { return a_->queue(); }
+PacketQueue& PointToPointLink::queue_b() noexcept { return b_->queue(); }
+
+}  // namespace catenet::link

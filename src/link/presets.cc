@@ -1,0 +1,73 @@
+#include "link/presets.h"
+
+namespace catenet::link::presets {
+
+LinkParams leased_line() {
+    LinkParams p;
+    p.bits_per_second = 56'000;
+    p.propagation_delay = sim::milliseconds(10);
+    p.mtu = 1006;  // ARPANET-era maximum
+    p.queue_capacity_packets = 32;
+    return p;
+}
+
+LinkParams slow_serial() {
+    LinkParams p;
+    p.bits_per_second = 1'200;
+    p.propagation_delay = sim::milliseconds(5);
+    p.mtu = 576;
+    p.queue_capacity_packets = 16;
+    return p;
+}
+
+LinkParams ethernet_hop() {
+    LinkParams p;
+    p.bits_per_second = 10'000'000;
+    p.propagation_delay = sim::microseconds(50);
+    p.mtu = 1500;
+    p.queue_capacity_packets = 64;
+    return p;
+}
+
+LinkParams satellite() {
+    LinkParams p;
+    p.bits_per_second = 1'544'000;  // T1 over the bird
+    p.propagation_delay = sim::milliseconds(250);
+    p.jitter = sim::milliseconds(2);
+    p.drop_probability = 0.001;
+    p.mtu = 1500;
+    p.queue_capacity_packets = 128;
+    return p;
+}
+
+LinkParams packet_radio() {
+    LinkParams p;
+    p.bits_per_second = 100'000;
+    p.propagation_delay = sim::milliseconds(20);
+    p.jitter = sim::milliseconds(30);
+    p.drop_probability = 0.03;
+    p.bit_error_rate = 1e-6;
+    p.mtu = 512;  // small radio frames force fragmentation
+    p.queue_capacity_packets = 32;
+    return p;
+}
+
+LinkParams x25_hop() {
+    LinkParams p;
+    p.bits_per_second = 64'000;
+    p.propagation_delay = sim::milliseconds(40);  // store-and-forward inside the PDN
+    p.mtu = 576;
+    p.queue_capacity_packets = 32;
+    return p;
+}
+
+LanParams ethernet_lan() {
+    LanParams p;
+    p.bits_per_second = 10'000'000;
+    p.propagation_delay = sim::microseconds(5);
+    p.mtu = 1500;
+    p.queue_capacity_packets = 64;
+    return p;
+}
+
+}  // namespace catenet::link::presets

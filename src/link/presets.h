@@ -1,0 +1,33 @@
+// Link parameterizations for the network technologies the paper lists the
+// Internet as spanning: "leased lines, X.25 networks, Ethernets, satellite
+// networks, packet radio networks, serial links down to 1200 bit/sec".
+// Goal-3 experiments run identical transport workloads over each of these.
+#pragma once
+
+#include "link/lan.h"
+#include "link/point_to_point.h"
+
+namespace catenet::link::presets {
+
+/// 56 kbit/s ARPANET-style leased line.
+LinkParams leased_line();
+
+/// 1200 bit/s dial-up serial line (the paper's lower bound).
+LinkParams slow_serial();
+
+/// 10 Mbit/s local Ethernet modeled as a point-to-point hop.
+LinkParams ethernet_hop();
+
+/// Geostationary satellite channel: ~250 ms one-way delay, moderate rate.
+LinkParams satellite();
+
+/// Packet radio: lossy, jittery, modest rate, small MTU.
+LinkParams packet_radio();
+
+/// X.25-era public data network hop: slow-ish with store-and-forward delay.
+LinkParams x25_hop();
+
+/// Shared 10 Mbit/s Ethernet segment.
+LanParams ethernet_lan();
+
+}  // namespace catenet::link::presets

@@ -1,0 +1,198 @@
+#include "routing/distance_vector.h"
+
+#include <algorithm>
+
+#include "ip/protocols.h"
+
+namespace catenet::routing {
+
+DistanceVector::DistanceVector(ip::IpStack& stack, DvConfig config)
+    : stack_(stack),
+      config_(config),
+      update_timer_(stack.simulator(), [this] { broadcast_update(); }),
+      expiry_timer_(stack.simulator(), [this] { expire_routes(); }),
+      triggered_timer_(stack.simulator(), [this] { broadcast_update(); }) {
+    stack_.register_protocol(
+        ip::kProtoDistanceVector,
+        [this](const ip::Ipv4Header& h, std::span<const std::uint8_t> p, std::size_t ifindex) {
+            on_message(h, p, ifindex);
+        });
+}
+
+void DistanceVector::start() {
+    running_ = true;
+    if (!observers_registered_) {
+        observers_registered_ = true;
+        // Carrier loss invalidates learned routes immediately (and, with
+        // triggered updates, pushes the bad news out at once) — stale
+        // routes must not linger for a full timeout when the hardware
+        // already knows the path is dead.
+        for (std::size_t i = 0; i < stack_.interface_count(); ++i) {
+            stack_.interface(i).add_state_observer([this, i](bool up) {
+                if (!up) on_interface_down(i);
+            });
+        }
+    }
+    update_timer_.start(config_.period, /*start_immediately=*/true);
+    expiry_timer_.start(config_.period);
+}
+
+// Removes a learned route and marks it poisoned so the withdrawal is
+// advertised (silent removal would leave neighbors holding the route
+// until their own timeouts).
+void DistanceVector::invalidate(const util::Ipv4Prefix& prefix) {
+    stack_.routing_table().remove(prefix);
+    poisoned_[prefix] = stack_.simulator().now() + config_.period * 3;
+    ++stats_.routes_expired;
+}
+
+void DistanceVector::on_interface_down(std::size_t ifindex) {
+    if (!running_ || stack_.is_down()) return;
+    bool changed = false;
+    for (auto it = learned_.begin(); it != learned_.end();) {
+        if (it->second.ifindex == ifindex) {
+            invalidate(it->first);
+            it = learned_.erase(it);
+            changed = true;
+        } else {
+            ++it;
+        }
+    }
+    if (changed) note_change();
+}
+
+void DistanceVector::stop() {
+    running_ = false;
+    update_timer_.stop();
+    expiry_timer_.stop();
+    triggered_timer_.cancel();
+}
+
+void DistanceVector::note_change() {
+    last_change_ = stack_.simulator().now();
+    if (running_ && config_.triggered_updates && !triggered_timer_.pending()) {
+        // Small fixed delay batches a burst of changes into one update.
+        triggered_timer_.schedule(sim::milliseconds(50));
+    }
+}
+
+std::vector<RouteEntry> DistanceVector::build_entries(std::size_t out_ifindex) const {
+    std::vector<RouteEntry> entries;
+    for (const auto& route : stack_.routing_table().routes()) {
+        if (route.origin != "connected" && route.origin != "dv" && route.origin != "static") {
+            continue;  // egp routes are redistributed via the export hook
+        }
+        // A route whose egress interface is dead is unusable: withdraw it
+        // (advertise at infinity) so neighbors fail over promptly.
+        const bool egress_up = route.ifindex < stack_.interface_count() &&
+                               stack_.interface(route.ifindex).is_up();
+        std::uint32_t metric =
+            egress_up ? std::min(route.metric, config_.infinity) : config_.infinity;
+        if (config_.split_horizon && route.origin == "dv" && route.ifindex == out_ifindex) {
+            metric = config_.infinity;  // poisoned reverse
+        }
+        entries.push_back(RouteEntry{route.prefix, metric});
+    }
+    if (export_hook_) {
+        for (const auto& extra : export_hook_()) entries.push_back(extra);
+    }
+    // Withdrawals: advertise recently invalidated prefixes at infinity.
+    for (const auto& [prefix, deadline] : poisoned_) {
+        entries.push_back(RouteEntry{prefix, config_.infinity});
+    }
+    return entries;
+}
+
+void DistanceVector::broadcast_update() {
+    if (!running_ || stack_.is_down()) return;
+    for (std::size_t i = 0; i < stack_.interface_count(); ++i) {
+        if (disabled_ifaces_.contains(i)) continue;
+        DvMessage msg;
+        msg.entries = build_entries(i);
+        if (msg.entries.empty()) continue;
+        const auto wire = encode_dv(msg);
+        if (stack_.send_broadcast(ip::kProtoDistanceVector, i, wire)) {
+            ++stats_.updates_sent;
+        }
+    }
+}
+
+void DistanceVector::on_message(const ip::Ipv4Header& header,
+                                std::span<const std::uint8_t> payload, std::size_t ifindex) {
+    if (!running_ || stack_.is_down()) return;
+    if (disabled_ifaces_.contains(ifindex)) return;
+    // Ignore our own broadcasts echoed back on a LAN.
+    if (stack_.is_local_address(header.src)) return;
+    auto msg = decode_dv(payload);
+    if (!msg) return;
+    ++stats_.updates_received;
+
+    const sim::Time now = stack_.simulator().now();
+    for (const auto& entry : msg->entries) {
+        const std::uint32_t metric =
+            std::min(entry.metric + 1, config_.infinity);
+
+        // Never override connected or static routes.
+        auto existing = stack_.routing_table().find(entry.prefix);
+        if (existing && existing->origin != "dv") continue;
+
+        auto it = learned_.find(entry.prefix);
+        const bool from_current_next_hop =
+            it != learned_.end() && it->second.from == header.src;
+
+        if (metric >= config_.infinity) {
+            // Poison: if it came from our next hop, the route is dead —
+            // and we pass the bad news along.
+            if (from_current_next_hop) {
+                learned_.erase(it);
+                invalidate(entry.prefix);
+                note_change();
+            }
+            continue;
+        }
+
+        const bool better = !existing || metric < existing->metric;
+        if (from_current_next_hop || better) {
+            poisoned_.erase(entry.prefix);  // resurrection cancels the poison
+            const bool changed = !existing || existing->metric != metric ||
+                                 existing->next_hop != header.src;
+            ip::Route route;
+            route.prefix = entry.prefix;
+            route.next_hop = header.src;
+            route.ifindex = ifindex;
+            route.metric = metric;
+            route.origin = "dv";
+            stack_.routing_table().install(route);
+            learned_[entry.prefix] =
+                Learned{ifindex, header.src, metric, now + config_.route_timeout};
+            if (changed) {
+                ++stats_.routes_learned;
+                note_change();
+            }
+        }
+    }
+}
+
+void DistanceVector::expire_routes() {
+    const sim::Time now = stack_.simulator().now();
+    bool changed = false;
+    for (auto it = learned_.begin(); it != learned_.end();) {
+        if (it->second.expires <= now) {
+            invalidate(it->first);
+            it = learned_.erase(it);
+            changed = true;
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = poisoned_.begin(); it != poisoned_.end();) {
+        if (it->second <= now) {
+            it = poisoned_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (changed) note_change();
+}
+
+}  // namespace catenet::routing

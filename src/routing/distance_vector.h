@@ -1,0 +1,95 @@
+// Intra-region distance-vector routing (RIP-like): periodic full-table
+// broadcasts, hop-count metric with infinity = 16, split horizon with
+// poisoned reverse, triggered updates, and route expiry. This is the
+// "consistent routing within one administration" half of the paper's
+// two-tier answer to goal 4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ip/ip_stack.h"
+#include "routing/messages.h"
+#include "sim/timer.h"
+
+namespace catenet::routing {
+
+struct DvConfig {
+    sim::Time period = sim::seconds(5);
+    /// A learned route not refreshed within this window is expired.
+    sim::Time route_timeout = sim::seconds(18);
+    std::uint32_t infinity = 16;
+    bool split_horizon = true;
+    bool triggered_updates = true;
+};
+
+struct DvStats {
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t routes_learned = 0;
+    std::uint64_t routes_expired = 0;
+};
+
+class DistanceVector {
+public:
+    /// Supplies extra (prefix, metric) entries to advertise — the EGP
+    /// speaker uses this to redistribute inter-region reachability.
+    using ExportHook = std::function<std::vector<RouteEntry>()>;
+
+    DistanceVector(ip::IpStack& stack, DvConfig config = {});
+
+    void start();
+    void stop();
+
+    void set_export_hook(ExportHook hook) { export_hook_ = std::move(hook); }
+
+    /// Excludes an interface from the protocol entirely (no updates sent,
+    /// updates arriving there ignored). Border gateways disable their
+    /// inter-region interfaces: the interior protocol must not leak across
+    /// a management boundary (goal 4).
+    void disable_interface(std::size_t ifindex) { disabled_ifaces_.insert(ifindex); }
+
+    const DvStats& stats() const noexcept { return stats_; }
+
+    /// Simulation time of the most recent routing-table change this
+    /// protocol made; convergence benches poll this.
+    sim::Time last_change() const noexcept { return last_change_; }
+
+private:
+    struct Learned {
+        std::size_t ifindex;
+        util::Ipv4Address from;
+        std::uint32_t metric;
+        sim::Time expires;
+    };
+
+    void broadcast_update();
+    void on_message(const ip::Ipv4Header& header, std::span<const std::uint8_t> payload,
+                    std::size_t ifindex);
+    void expire_routes();
+    void on_interface_down(std::size_t ifindex);
+    void invalidate(const util::Ipv4Prefix& prefix);
+    std::vector<RouteEntry> build_entries(std::size_t out_ifindex) const;
+    void note_change();
+
+    ip::IpStack& stack_;
+    DvConfig config_;
+    sim::PeriodicTimer update_timer_;
+    sim::PeriodicTimer expiry_timer_;
+    sim::Timer triggered_timer_;
+    std::map<util::Ipv4Prefix, Learned> learned_;
+    /// Recently invalidated prefixes, advertised at infinity until their
+    /// deadline so neighbors hear the withdrawal (route poisoning).
+    std::map<util::Ipv4Prefix, sim::Time> poisoned_;
+    std::set<std::size_t> disabled_ifaces_;
+    ExportHook export_hook_;
+    DvStats stats_;
+    sim::Time last_change_;
+    bool running_ = false;
+    bool observers_registered_ = false;
+};
+
+}  // namespace catenet::routing

@@ -1,0 +1,135 @@
+#include "routing/egp.h"
+
+#include <algorithm>
+
+#include "ip/protocols.h"
+
+namespace catenet::routing {
+
+EgpSpeaker::EgpSpeaker(ip::IpStack& stack, std::uint16_t region, EgpConfig config)
+    : stack_(stack),
+      region_(region),
+      config_(config),
+      update_timer_(stack.simulator(), [this] { send_updates(); }),
+      expiry_timer_(stack.simulator(), [this] { expire_routes(); }) {
+    stack_.register_protocol(
+        ip::kProtoEgp,
+        [this](const ip::Ipv4Header& h, std::span<const std::uint8_t> p, std::size_t ifindex) {
+            on_message(h, p, ifindex);
+        });
+}
+
+void EgpSpeaker::add_peer(util::Ipv4Address peer) { peers_.push_back(peer); }
+
+void EgpSpeaker::start() {
+    running_ = true;
+    update_timer_.start(config_.period, /*start_immediately=*/true);
+    expiry_timer_.start(config_.period);
+}
+
+void EgpSpeaker::stop() {
+    running_ = false;
+    update_timer_.stop();
+    expiry_timer_.stop();
+}
+
+std::vector<RouteEntry> EgpSpeaker::redistribution_entries() const {
+    std::vector<RouteEntry> entries;
+    for (const auto& [prefix, imported] : imported_) {
+        entries.push_back(RouteEntry{prefix, imported.metric});
+    }
+    return entries;
+}
+
+std::vector<RouteEntry> EgpSpeaker::build_export(std::uint16_t peer_region) const {
+    // Export what this region itself can reach: connected, static and
+    // interior (dv) routes. Imported egp routes are not re-exported —
+    // the original EGP likewise assumed a non-transit topology; a full
+    // path-vector protocol (BGP) postdates the paper.
+    std::vector<RouteEntry> entries;
+    for (const auto& route : stack_.routing_table().routes()) {
+        if (route.origin == "egp") continue;
+        if (export_policy_ && !export_policy_(route.prefix, peer_region)) continue;
+        entries.push_back(RouteEntry{route.prefix, route.metric});
+    }
+    return entries;
+}
+
+void EgpSpeaker::send_updates() {
+    if (!running_ || stack_.is_down()) return;
+    for (const auto peer : peers_) {
+        EgpMessage msg;
+        msg.region = region_;
+        // Peer region is unknown until we hear from it; policy sees 0 then.
+        std::uint16_t peer_region = 0;
+        for (const auto& [prefix, imp] : imported_) {
+            if (imp.from == peer) {
+                peer_region = imp.from_region;
+                break;
+            }
+        }
+        msg.entries = build_export(peer_region);
+        if (msg.entries.empty()) continue;
+        const auto wire = encode_egp(msg);
+        if (stack_.send(ip::kProtoEgp, peer, wire)) {
+            ++stats_.updates_sent;
+        }
+    }
+}
+
+void EgpSpeaker::on_message(const ip::Ipv4Header& header,
+                            std::span<const std::uint8_t> payload, std::size_t ifindex) {
+    if (!running_ || stack_.is_down()) return;
+    // Only accept from configured peers: management boundary enforcement.
+    if (std::find(peers_.begin(), peers_.end(), header.src) == peers_.end()) return;
+    auto msg = decode_egp(payload);
+    if (!msg || msg->region == region_) return;
+    ++stats_.updates_received;
+
+    const sim::Time now = stack_.simulator().now();
+    for (const auto& entry : msg->entries) {
+        if (import_policy_ && !import_policy_(entry.prefix, msg->region)) {
+            ++stats_.routes_filtered;
+            continue;
+        }
+        // Our own region's routes win over anything imported.
+        auto existing = stack_.routing_table().find(entry.prefix);
+        if (existing && existing->origin != "egp") continue;
+
+        const std::uint32_t metric = entry.metric + config_.metric_offset;
+        auto it = imported_.find(entry.prefix);
+        const bool from_current = it != imported_.end() && it->second.from == header.src;
+        const bool better = it == imported_.end() || metric < it->second.metric;
+        if (from_current || better) {
+            ip::Route route;
+            route.prefix = entry.prefix;
+            route.next_hop = header.src;
+            route.ifindex = ifindex;
+            route.metric = metric;
+            route.origin = "egp";
+            stack_.routing_table().install(route);
+            const bool changed = !from_current || it->second.metric != metric;
+            imported_[entry.prefix] =
+                Imported{header.src, msg->region, metric, now + config_.route_timeout};
+            if (changed) {
+                ++stats_.routes_imported;
+                last_change_ = now;
+            }
+        }
+    }
+}
+
+void EgpSpeaker::expire_routes() {
+    const sim::Time now = stack_.simulator().now();
+    for (auto it = imported_.begin(); it != imported_.end();) {
+        if (it->second.expires <= now) {
+            stack_.routing_table().remove(it->first);
+            it = imported_.erase(it);
+            last_change_ = now;
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace catenet::routing

@@ -1,0 +1,84 @@
+// Inter-region reachability protocol, modeled on the original EGP: border
+// gateways of independently-managed regions exchange "which prefixes my
+// region can reach" with explicitly configured peers, subject to policy
+// filters. Interior gateways never see it; the EGP speaker redistributes
+// what it learns into the region's distance-vector protocol. This is the
+// second tier of the paper's goal-4 architecture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ip/ip_stack.h"
+#include "routing/messages.h"
+#include "sim/timer.h"
+
+namespace catenet::routing {
+
+struct EgpConfig {
+    sim::Time period = sim::seconds(10);
+    sim::Time route_timeout = sim::seconds(35);
+    std::uint32_t metric_offset = 1;  ///< added per inter-region hop
+};
+
+struct EgpStats {
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t routes_imported = 0;
+    std::uint64_t routes_filtered = 0;
+};
+
+class EgpSpeaker {
+public:
+    /// Policy filter: return false to refuse to export/import a prefix.
+    /// `peer_region` identifies the neighbor the decision concerns.
+    using Policy = std::function<bool(const util::Ipv4Prefix&, std::uint16_t peer_region)>;
+
+    EgpSpeaker(ip::IpStack& stack, std::uint16_t region, EgpConfig config = {});
+
+    void add_peer(util::Ipv4Address peer);
+    void start();
+    void stop();
+
+    void set_export_policy(Policy p) { export_policy_ = std::move(p); }
+    void set_import_policy(Policy p) { import_policy_ = std::move(p); }
+
+    std::uint16_t region() const noexcept { return region_; }
+    const EgpStats& stats() const noexcept { return stats_; }
+    sim::Time last_change() const noexcept { return last_change_; }
+
+    /// Entries to fold into the interior DV advertisements (learned
+    /// inter-region prefixes with their metrics).
+    std::vector<RouteEntry> redistribution_entries() const;
+
+private:
+    struct Imported {
+        util::Ipv4Address from;
+        std::uint16_t from_region;
+        std::uint32_t metric;
+        sim::Time expires;
+    };
+
+    void send_updates();
+    void on_message(const ip::Ipv4Header& header, std::span<const std::uint8_t> payload,
+                    std::size_t ifindex);
+    void expire_routes();
+    std::vector<RouteEntry> build_export(std::uint16_t peer_region) const;
+
+    ip::IpStack& stack_;
+    std::uint16_t region_;
+    EgpConfig config_;
+    sim::PeriodicTimer update_timer_;
+    sim::PeriodicTimer expiry_timer_;
+    std::vector<util::Ipv4Address> peers_;
+    std::map<util::Ipv4Prefix, Imported> imported_;
+    Policy export_policy_;
+    Policy import_policy_;
+    EgpStats stats_;
+    sim::Time last_change_;
+    bool running_ = false;
+};
+
+}  // namespace catenet::routing

@@ -1,0 +1,78 @@
+#include "routing/messages.h"
+
+namespace catenet::routing {
+
+namespace {
+
+constexpr std::uint8_t kDvVersion = 1;
+constexpr std::uint8_t kEgpVersion = 1;
+
+void put_entries(util::BufferWriter& w, const std::vector<RouteEntry>& entries) {
+    w.put_u16(static_cast<std::uint16_t>(entries.size()));
+    for (const auto& e : entries) {
+        w.put_u32(e.prefix.address().value());
+        w.put_u8(static_cast<std::uint8_t>(e.prefix.length()));
+        w.put_u32(e.metric);
+    }
+}
+
+bool get_entries(util::BufferReader& r, std::vector<RouteEntry>& out) {
+    const std::uint16_t count = r.get_u16();
+    out.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+        const util::Ipv4Address addr{r.get_u32()};
+        const int len = r.get_u8();
+        if (len > 32) return false;
+        const std::uint32_t metric = r.get_u32();
+        out.push_back(RouteEntry{util::Ipv4Prefix(addr, len), metric});
+    }
+    return true;
+}
+
+}  // namespace
+
+util::ByteBuffer encode_dv(const DvMessage& msg) {
+    util::BufferWriter w(4 + msg.entries.size() * 9);
+    w.put_u8(kDvVersion);
+    w.put_u8(0);  // reserved
+    put_entries(w, msg.entries);
+    return w.take();
+}
+
+std::optional<DvMessage> decode_dv(std::span<const std::uint8_t> wire) {
+    try {
+        util::BufferReader r(wire);
+        if (r.get_u8() != kDvVersion) return std::nullopt;
+        r.skip(1);
+        DvMessage msg;
+        if (!get_entries(r, msg.entries)) return std::nullopt;
+        return msg;
+    } catch (const util::DecodeError&) {
+        return std::nullopt;
+    }
+}
+
+util::ByteBuffer encode_egp(const EgpMessage& msg) {
+    util::BufferWriter w(6 + msg.entries.size() * 9);
+    w.put_u8(kEgpVersion);
+    w.put_u8(0);  // reserved
+    w.put_u16(msg.region);
+    put_entries(w, msg.entries);
+    return w.take();
+}
+
+std::optional<EgpMessage> decode_egp(std::span<const std::uint8_t> wire) {
+    try {
+        util::BufferReader r(wire);
+        if (r.get_u8() != kEgpVersion) return std::nullopt;
+        r.skip(1);
+        EgpMessage msg;
+        msg.region = r.get_u16();
+        if (!get_entries(r, msg.entries)) return std::nullopt;
+        return msg;
+    } catch (const util::DecodeError&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace catenet::routing

@@ -1,0 +1,37 @@
+// Wire formats for the two routing protocols (goal 4: distributed
+// management). Both advertise (prefix, metric) vectors; the EGP-like
+// inter-region protocol additionally carries the speaker's region number,
+// mirroring the original EGP's autonomous-system field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/byte_buffer.h"
+#include "util/ip_address.h"
+
+namespace catenet::routing {
+
+struct RouteEntry {
+    util::Ipv4Prefix prefix;
+    std::uint32_t metric = 0;
+};
+
+struct DvMessage {
+    std::vector<RouteEntry> entries;
+};
+
+struct EgpMessage {
+    std::uint16_t region = 0;
+    std::vector<RouteEntry> entries;
+};
+
+util::ByteBuffer encode_dv(const DvMessage& msg);
+std::optional<DvMessage> decode_dv(std::span<const std::uint8_t> wire);
+
+util::ByteBuffer encode_egp(const EgpMessage& msg);
+std::optional<EgpMessage> decode_egp(std::span<const std::uint8_t> wire);
+
+}  // namespace catenet::routing

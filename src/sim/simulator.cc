@@ -1,0 +1,93 @@
+#include "sim/simulator.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace catenet::sim {
+
+std::string Time::to_string() const {
+    std::ostringstream os;
+    const auto n = ns_;
+    if (n == 0) {
+        os << "0s";
+    } else if (n % 1000000000 == 0) {
+        os << n / 1000000000 << "s";
+    } else if (n < 1000000) {
+        os << micros() << "us";
+    } else if (n < 1000000000) {
+        os << millis() << "ms";
+    } else {
+        os << seconds() << "s";
+    }
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.to_string(); }
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+    if (when < now_) {
+        throw std::logic_error("Simulator::schedule_at in the past: " + when.to_string() +
+                               " < " + now_.to_string());
+    }
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+}
+
+void Simulator::cancel(EventId id) {
+    if (callbacks_.erase(id) > 0) {
+        cancelled_.insert(id);
+    }
+}
+
+bool Simulator::step() {
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (auto cancelled_it = cancelled_.find(ev.id); cancelled_it != cancelled_.end()) {
+            cancelled_.erase(cancelled_it);
+            continue;
+        }
+        auto it = callbacks_.find(ev.id);
+        // The callback must exist: ids are removed from callbacks_ only via
+        // cancel(), which also records them in cancelled_.
+        auto fn = std::move(it->second);
+        callbacks_.erase(it);
+        now_ = ev.when;
+        ++events_processed_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void Simulator::run() {
+    while (step()) {
+    }
+}
+
+void Simulator::run_until(Time deadline) {
+    while (!queue_.empty()) {
+        // Peek past cancelled entries without firing anything late.
+        Event ev = queue_.top();
+        if (cancelled_.contains(ev.id)) {
+            queue_.pop();
+            cancelled_.erase(ev.id);
+            continue;
+        }
+        if (ev.when > deadline) break;
+        step();
+    }
+    if (deadline > now_) now_ = deadline;
+}
+
+bool Simulator::run_while(const std::function<bool()>& pred) {
+    while (pred()) {
+        if (!step()) return pred();
+    }
+    return false;
+}
+
+}  // namespace catenet::sim

@@ -1,0 +1,78 @@
+// The discrete-event engine. Single-threaded and deterministic: events at
+// equal times fire in scheduling order. Everything in the library — link
+// transmissions, protocol timers, application workloads — runs as events
+// on one Simulator instance per scenario.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace catenet::sim {
+
+/// Handle for a scheduled event; lets the owner cancel it.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    Time now() const noexcept { return now_; }
+
+    /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+    EventId schedule_at(Time when, std::function<void()> fn);
+
+    /// Schedules `fn` to run `delay` after the current time.
+    EventId schedule_after(Time delay, std::function<void()> fn) {
+        return schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Cancels a pending event; no-op if already fired or cancelled.
+    void cancel(EventId id);
+
+    /// Runs a single event; returns false when the queue is empty.
+    bool step();
+
+    /// Runs until the queue drains.
+    void run();
+
+    /// Runs events with time <= deadline, then sets now() = deadline.
+    void run_until(Time deadline);
+
+    /// Runs until `pred()` turns true or the queue drains; checks after
+    /// every event. Returns the predicate's final value.
+    bool run_while(const std::function<bool()>& pred);
+
+    std::uint64_t events_processed() const noexcept { return events_processed_; }
+    std::size_t pending_events() const noexcept { return queue_.size() - cancelled_.size(); }
+
+private:
+    struct Event {
+        Time when;
+        EventId id;
+        // Ordered as a min-heap: earliest time first; FIFO among equals.
+        bool operator>(const Event& rhs) const noexcept {
+            if (when != rhs.when) return when > rhs.when;
+            return id > rhs.id;
+        }
+    };
+
+    // Callbacks live beside the heap entries, keyed by id, so heap moves
+    // stay cheap and cancellation is O(1).
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::unordered_map<EventId, std::function<void()>> callbacks_;
+    std::unordered_set<EventId> cancelled_;
+    Time now_;
+    EventId next_id_ = 1;
+    std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace catenet::sim

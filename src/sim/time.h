@@ -1,0 +1,54 @@
+// Simulated time. A single value type serves as both instant and duration
+// (like a plain integer timeline); resolution is one nanosecond, range
+// ~292 years — ample for any scenario in this library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace catenet::sim {
+
+class Time {
+public:
+    constexpr Time() = default;
+    constexpr explicit Time(std::int64_t nanos) : ns_(nanos) {}
+
+    constexpr std::int64_t nanos() const noexcept { return ns_; }
+    constexpr double micros() const noexcept { return static_cast<double>(ns_) / 1e3; }
+    constexpr double millis() const noexcept { return static_cast<double>(ns_) / 1e6; }
+    constexpr double seconds() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+    friend constexpr auto operator<=>(Time, Time) = default;
+
+    constexpr Time operator+(Time rhs) const noexcept { return Time(ns_ + rhs.ns_); }
+    constexpr Time operator-(Time rhs) const noexcept { return Time(ns_ - rhs.ns_); }
+    constexpr Time& operator+=(Time rhs) noexcept { ns_ += rhs.ns_; return *this; }
+    constexpr Time& operator-=(Time rhs) noexcept { ns_ -= rhs.ns_; return *this; }
+    constexpr Time operator*(std::int64_t k) const noexcept { return Time(ns_ * k); }
+    constexpr Time operator/(std::int64_t k) const noexcept { return Time(ns_ / k); }
+    constexpr double operator/(Time rhs) const noexcept {
+        return static_cast<double>(ns_) / static_cast<double>(rhs.ns_);
+    }
+
+    /// Formats with an adaptive unit, e.g. "1.5ms".
+    std::string to_string() const;
+
+private:
+    std::int64_t ns_ = 0;
+};
+
+constexpr Time nanoseconds(std::int64_t n) { return Time(n); }
+constexpr Time microseconds(std::int64_t n) { return Time(n * 1000); }
+constexpr Time milliseconds(std::int64_t n) { return Time(n * 1000000); }
+constexpr Time seconds(std::int64_t n) { return Time(n * 1000000000); }
+
+/// Converts a real-valued second count (e.g. from an exponential draw).
+constexpr Time from_seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e9));
+}
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace catenet::sim

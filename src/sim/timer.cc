@@ -1,0 +1,33 @@
+#include "sim/timer.h"
+
+namespace catenet::sim {
+
+void Timer::schedule(Time delay) {
+    cancel();
+    expiry_ = sim_.now() + delay;
+    id_ = sim_.schedule_at(expiry_, [this] {
+        id_ = kInvalidEventId;
+        on_fire_();
+    });
+}
+
+void Timer::cancel() {
+    if (id_ != kInvalidEventId) {
+        sim_.cancel(id_);
+        id_ = kInvalidEventId;
+    }
+}
+
+void PeriodicTimer::start(Time period, bool start_immediately) {
+    period_ = period;
+    running_ = true;
+    timer_.schedule(start_immediately ? Time(0) : period_);
+}
+
+void PeriodicTimer::fire() {
+    if (!running_) return;
+    timer_.schedule(period_);
+    on_fire_();
+}
+
+}  // namespace catenet::sim

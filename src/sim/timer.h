@@ -1,0 +1,67 @@
+// Restartable one-shot timer bound to a callback. Protocol code (TCP
+// retransmission, reassembly timeouts, routing periodics) owns Timers as
+// members; destruction cancels automatically, so a dying connection can
+// never fire a stale timer.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace catenet::sim {
+
+class Timer {
+public:
+    Timer(Simulator& sim, std::function<void()> on_fire)
+        : sim_(sim), on_fire_(std::move(on_fire)) {}
+
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+    ~Timer() { cancel(); }
+
+    /// (Re)arms the timer to fire `delay` from now. If already pending,
+    /// the previous schedule is cancelled first.
+    void schedule(Time delay);
+
+    /// Arms the timer only if it is not already pending.
+    void schedule_if_idle(Time delay) {
+        if (!pending()) schedule(delay);
+    }
+
+    void cancel();
+
+    bool pending() const noexcept { return id_ != kInvalidEventId; }
+
+    /// Absolute expiry time; only meaningful while pending().
+    Time expiry() const noexcept { return expiry_; }
+
+private:
+    Simulator& sim_;
+    std::function<void()> on_fire_;
+    EventId id_ = kInvalidEventId;
+    Time expiry_;
+};
+
+/// Fires a callback at a fixed period until cancelled (routing updates,
+/// CBR sources). The first firing is one period from schedule time unless
+/// `start_immediately` is set.
+class PeriodicTimer {
+public:
+    PeriodicTimer(Simulator& sim, std::function<void()> on_fire)
+        : sim_(sim), on_fire_(std::move(on_fire)), timer_(sim, [this] { fire(); }) {}
+
+    void start(Time period, bool start_immediately = false);
+    void stop() { timer_.cancel(); running_ = false; }
+    bool running() const noexcept { return running_; }
+
+private:
+    void fire();
+
+    Simulator& sim_;
+    std::function<void()> on_fire_;
+    Timer timer_;
+    Time period_;
+    bool running_ = false;
+};
+
+}  // namespace catenet::sim

@@ -1,0 +1,26 @@
+// 32-bit sequence-number arithmetic (RFC 793 §3.3). All comparisons are
+// modulo 2^32; "less than" means "earlier in the window", valid as long as
+// compared numbers are within half the space of each other.
+#pragma once
+
+#include <cstdint>
+
+namespace catenet::tcp {
+
+using SeqNum = std::uint32_t;
+
+constexpr bool seq_lt(SeqNum a, SeqNum b) noexcept {
+    return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_leq(SeqNum a, SeqNum b) noexcept {
+    return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(SeqNum a, SeqNum b) noexcept { return seq_lt(b, a); }
+constexpr bool seq_geq(SeqNum a, SeqNum b) noexcept { return seq_leq(b, a); }
+
+/// True when `seq` falls in the half-open window [lo, lo+size).
+constexpr bool seq_in_window(SeqNum seq, SeqNum lo, std::uint32_t size) noexcept {
+    return size > 0 && seq_leq(lo, seq) && seq_lt(seq, lo + size);
+}
+
+}  // namespace catenet::tcp

@@ -1,0 +1,174 @@
+#include "tcp/simple_arq.h"
+
+#include <algorithm>
+
+namespace catenet::tcp {
+
+namespace {
+
+// Wire format: type(1) src_port(2) dst_port(2) seq/ack(4) [payload].
+constexpr std::uint8_t kTypeData = 1;
+constexpr std::uint8_t kTypeAck = 2;
+constexpr std::size_t kArqHeader = 9;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArqSender
+// ---------------------------------------------------------------------------
+
+ArqSender::ArqSender(ArqEndpoint& endpoint, util::Ipv4Address dst, std::uint16_t dst_port,
+                     std::uint16_t src_port, ArqConfig config)
+    : endpoint_(endpoint),
+      dst_(dst),
+      dst_port_(dst_port),
+      src_port_(src_port),
+      config_(config),
+      rto_timer_(endpoint.ip().simulator(), [this] { on_rto(); }) {}
+
+std::size_t ArqSender::send(std::span<const std::uint8_t> data) {
+    std::size_t accepted = 0;
+    while (accepted < data.size() && packets_.size() < config_.send_buffer_packets) {
+        const std::size_t room = config_.packet_payload - partial_.size();
+        const std::size_t take = std::min(room, data.size() - accepted);
+        partial_.insert(partial_.end(), data.begin() + static_cast<std::ptrdiff_t>(accepted),
+                        data.begin() + static_cast<std::ptrdiff_t>(accepted + take));
+        accepted += take;
+        if (partial_.size() == config_.packet_payload) {
+            // Packetization happens HERE, once and forever: this packet's
+            // boundaries can never change, even on retransmission.
+            packets_.push_back(std::move(partial_));
+            partial_.clear();
+        }
+    }
+    try_send();
+    return accepted;
+}
+
+void ArqSender::flush() {
+    if (!partial_.empty() && packets_.size() < config_.send_buffer_packets) {
+        packets_.push_back(std::move(partial_));
+        partial_.clear();
+    }
+    try_send();
+}
+
+void ArqSender::try_send() {
+    while (next_unsent_ < packets_.size() && next_unsent_ < config_.window_packets) {
+        transmit_packet(base_seq_ + next_unsent_);
+        ++next_unsent_;
+        ++stats_.packets_sent;
+    }
+    if (!packets_.empty()) rto_timer_.schedule_if_idle(config_.rto);
+}
+
+void ArqSender::transmit_packet(std::uint32_t seq) {
+    const auto& payload = packets_.at(seq - base_seq_);
+    util::BufferWriter w(kArqHeader + payload.size());
+    w.put_u8(kTypeData);
+    w.put_u16(src_port_);
+    w.put_u16(dst_port_);
+    w.put_u32(seq);
+    w.put_bytes(payload);
+    endpoint_.ip().send(kProtoSimpleArq, dst_, w.data());
+}
+
+void ArqSender::on_ack(std::uint32_t ack) {
+    // Cumulative: ack = next packet the receiver expects.
+    if (ack <= base_seq_) return;
+    const std::uint32_t advanced = ack - base_seq_;
+    if (advanced > packets_.size()) return;  // nonsense ack
+    packets_.erase(packets_.begin(), packets_.begin() + advanced);
+    base_seq_ = ack;
+    next_unsent_ -= std::min(next_unsent_, advanced);
+    if (packets_.empty()) {
+        rto_timer_.cancel();
+    } else {
+        rto_timer_.schedule(config_.rto);
+    }
+    try_send();
+}
+
+void ArqSender::on_rto() {
+    // Go-back-N: resend the whole window, original boundaries intact.
+    const std::size_t outstanding = next_unsent_;
+    for (std::size_t i = 0; i < outstanding; ++i) {
+        transmit_packet(base_seq_ + static_cast<std::uint32_t>(i));
+        ++stats_.packets_sent;
+        ++stats_.packets_retransmitted;
+    }
+    if (!packets_.empty()) rto_timer_.schedule(config_.rto);
+}
+
+// ---------------------------------------------------------------------------
+// ArqEndpoint
+// ---------------------------------------------------------------------------
+
+ArqEndpoint::ArqEndpoint(ip::IpStack& ip) : ip_(ip) {
+    ip_.register_protocol(
+        kProtoSimpleArq,
+        [this](const ip::Ipv4Header& h, std::span<const std::uint8_t> p, std::size_t) {
+            on_datagram(h, p);
+        });
+}
+
+std::unique_ptr<ArqSender> ArqEndpoint::create_sender(util::Ipv4Address dst,
+                                                      std::uint16_t dst_port,
+                                                      ArqConfig config) {
+    const std::uint16_t src_port = next_port_++;
+    auto sender = std::unique_ptr<ArqSender>(
+        new ArqSender(*this, dst, dst_port, src_port, config));
+    senders_[src_port] = sender.get();
+    return sender;
+}
+
+void ArqEndpoint::listen(std::uint16_t port, Receiver receiver) {
+    listeners_[port] = std::move(receiver);
+}
+
+void ArqEndpoint::on_datagram(const ip::Ipv4Header& header,
+                              std::span<const std::uint8_t> payload) {
+    try {
+        util::BufferReader r(payload);
+        const std::uint8_t type = r.get_u8();
+        const std::uint16_t src_port = r.get_u16();
+        const std::uint16_t dst_port = r.get_u16();
+        const std::uint32_t seq = r.get_u32();
+
+        if (type == kTypeAck) {
+            auto it = senders_.find(dst_port);
+            if (it != senders_.end()) it->second->on_ack(seq);
+            return;
+        }
+        if (type != kTypeData) return;
+
+        auto lit = listeners_.find(dst_port);
+        if (lit == listeners_.end()) return;
+
+        const StreamKey key{header.src.value(), src_port, dst_port};
+        std::uint32_t& expected = expected_[key];
+        if (seq == expected) {
+            ++expected;
+            recv_stats_.bytes_delivered += r.remaining_size();
+            lit->second(header.src, src_port, r.remaining());
+        } else {
+            ++recv_stats_.out_of_order_dropped;  // go-back-N: discard
+        }
+        send_ack(header.src, src_port, dst_port, expected);
+    } catch (const util::DecodeError&) {
+        // malformed; drop
+    }
+}
+
+void ArqEndpoint::send_ack(util::Ipv4Address dst, std::uint16_t dst_port,
+                           std::uint16_t src_port, std::uint32_t ack) {
+    util::BufferWriter w(kArqHeader);
+    w.put_u8(kTypeAck);
+    w.put_u16(src_port);
+    w.put_u16(dst_port);
+    w.put_u32(ack);
+    ip_.send(kProtoSimpleArq, dst, w.data());
+    ++recv_stats_.acks_sent;
+}
+
+}  // namespace catenet::tcp

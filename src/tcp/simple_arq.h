@@ -1,0 +1,120 @@
+// A deliberately old-fashioned reliable transport with **packet-granularity
+// sequence numbers** and go-back-N retransmission: the design space the
+// paper says TCP rejected in favor of byte sequencing ("permits the packet
+// to be broken up ... permits a number of small packets to be gathered
+// together into one larger packet"). Data is packetized once, at send
+// time, into fixed-size packets; a retransmission must resend exactly the
+// original packets — no coalescing, no repacketization. Experiment E9
+// races this against TCP; experiment E6 uses its fixed retransmission
+// timer as the "naive host" transport.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "ip/ip_stack.h"
+#include "sim/timer.h"
+
+namespace catenet::tcp {
+
+/// Simulator-internal IP protocol number for the ARQ transport.
+inline constexpr std::uint8_t kProtoSimpleArq = 254;
+
+struct ArqConfig {
+    std::size_t packet_payload = 512;  ///< fixed packetization quantum
+    std::size_t window_packets = 8;
+    sim::Time rto = sim::seconds(1);   ///< fixed — no adaptation, no backoff
+    std::size_t send_buffer_packets = 256;
+};
+
+struct ArqStats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_retransmitted = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t out_of_order_dropped = 0;
+};
+
+class ArqEndpoint;
+
+/// Sending half of a one-way reliable packet stream.
+class ArqSender {
+public:
+    /// Accepts bytes; they are packetized immediately at the configured
+    /// quantum. Returns bytes accepted (bounded by the send buffer).
+    std::size_t send(std::span<const std::uint8_t> data);
+
+    /// Flushes a final short packet if one is pending.
+    void flush();
+
+    bool idle() const noexcept { return packets_.empty() && partial_.empty(); }
+    const ArqStats& stats() const noexcept { return stats_; }
+
+private:
+    friend class ArqEndpoint;
+    ArqSender(ArqEndpoint& endpoint, util::Ipv4Address dst, std::uint16_t dst_port,
+              std::uint16_t src_port, ArqConfig config);
+
+    void try_send();
+    void on_ack(std::uint32_t ack);
+    void on_rto();
+    void transmit_packet(std::uint32_t seq);
+
+    ArqEndpoint& endpoint_;
+    util::Ipv4Address dst_;
+    std::uint16_t dst_port_;
+    std::uint16_t src_port_;
+    ArqConfig config_;
+    std::deque<util::ByteBuffer> packets_;  ///< unacked + unsent, front = base
+    util::ByteBuffer partial_;              ///< bytes not yet filling a packet
+    std::uint32_t base_seq_ = 0;            ///< seq of packets_.front()
+    std::uint32_t next_unsent_ = 0;         ///< offset into packets_ of first unsent
+    sim::Timer rto_timer_;
+    ArqStats stats_;
+};
+
+/// Per-host demux for the ARQ protocol.
+class ArqEndpoint {
+public:
+    /// In-order packet delivery: (source, source port, payload).
+    using Receiver = std::function<void(util::Ipv4Address, std::uint16_t,
+                                        std::span<const std::uint8_t>)>;
+
+    explicit ArqEndpoint(ip::IpStack& ip);
+    ArqEndpoint(const ArqEndpoint&) = delete;
+    ArqEndpoint& operator=(const ArqEndpoint&) = delete;
+
+    std::unique_ptr<ArqSender> create_sender(util::Ipv4Address dst, std::uint16_t dst_port,
+                                             ArqConfig config = {});
+    void listen(std::uint16_t port, Receiver receiver);
+
+    ip::IpStack& ip() noexcept { return ip_; }
+    const ArqStats& receive_stats() const noexcept { return recv_stats_; }
+
+private:
+    friend class ArqSender;
+
+    struct StreamKey {
+        std::uint32_t src;
+        std::uint16_t src_port;
+        std::uint16_t dst_port;
+        auto operator<=>(const StreamKey&) const = default;
+    };
+
+    void on_datagram(const ip::Ipv4Header& header, std::span<const std::uint8_t> payload);
+    void send_ack(util::Ipv4Address dst, std::uint16_t dst_port, std::uint16_t src_port,
+                  std::uint32_t ack);
+
+    ip::IpStack& ip_;
+    std::map<std::uint16_t, Receiver> listeners_;
+    std::map<StreamKey, std::uint32_t> expected_;  ///< next in-order seq
+    std::map<std::uint16_t, ArqSender*> senders_;  ///< by src_port, for acks
+    ArqStats recv_stats_;
+    std::uint16_t next_port_ = 1;
+};
+
+}  // namespace catenet::tcp

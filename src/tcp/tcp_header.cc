@@ -1,0 +1,87 @@
+#include "tcp/tcp_header.h"
+
+#include "ip/protocols.h"
+#include "util/checksum.h"
+
+namespace catenet::tcp {
+
+util::ByteBuffer encode_tcp(const TcpHeader& header, util::Ipv4Address src,
+                            util::Ipv4Address dst, std::span<const std::uint8_t> payload) {
+    const std::size_t options_len = header.mss ? 4 : 0;
+    const std::size_t header_len = kTcpHeaderSize + options_len;
+    util::BufferWriter w(header_len + payload.size());
+    w.put_u16(header.src_port);
+    w.put_u16(header.dst_port);
+    w.put_u32(header.seq);
+    w.put_u32(header.ack);
+    const auto data_offset = static_cast<std::uint8_t>(header_len / 4);
+    w.put_u8(static_cast<std::uint8_t>(data_offset << 4));
+    std::uint8_t flags = 0;
+    if (header.flags.fin) flags |= 0x01;
+    if (header.flags.syn) flags |= 0x02;
+    if (header.flags.rst) flags |= 0x04;
+    if (header.flags.psh) flags |= 0x08;
+    if (header.flags.ack) flags |= 0x10;
+    if (header.flags.urg) flags |= 0x20;
+    w.put_u8(flags);
+    w.put_u16(header.window);
+    w.put_u16(0);  // checksum placeholder
+    w.put_u16(header.urgent_pointer);
+    if (header.mss) {
+        w.put_u8(2);  // kind: MSS
+        w.put_u8(4);  // length
+        w.put_u16(*header.mss);
+    }
+    w.put_bytes(payload);
+    w.patch_u16(16, util::transport_checksum(src, dst, ip::kProtoTcp, w.data()));
+    return w.take();
+}
+
+std::optional<TcpHeader> decode_tcp(util::Ipv4Address src, util::Ipv4Address dst,
+                                    std::span<const std::uint8_t> segment,
+                                    std::span<const std::uint8_t>& payload_out) {
+    if (util::transport_checksum(src, dst, ip::kProtoTcp, segment) != 0) {
+        return std::nullopt;
+    }
+    util::BufferReader r(segment);
+    TcpHeader h;
+    h.src_port = r.get_u16();
+    h.dst_port = r.get_u16();
+    h.seq = r.get_u32();
+    h.ack = r.get_u32();
+    const std::uint8_t offset_byte = r.get_u8();
+    const std::size_t header_len = std::size_t{static_cast<std::uint8_t>(offset_byte >> 4)} * 4;
+    if (header_len < kTcpHeaderSize || header_len > segment.size()) {
+        throw util::DecodeError("bad TCP data offset");
+    }
+    const std::uint8_t flags = r.get_u8();
+    h.flags.fin = (flags & 0x01) != 0;
+    h.flags.syn = (flags & 0x02) != 0;
+    h.flags.rst = (flags & 0x04) != 0;
+    h.flags.psh = (flags & 0x08) != 0;
+    h.flags.ack = (flags & 0x10) != 0;
+    h.flags.urg = (flags & 0x20) != 0;
+    h.window = r.get_u16();
+    r.get_u16();  // checksum, already validated
+    h.urgent_pointer = r.get_u16();
+
+    // Parse options up to the data offset.
+    while (r.position() < header_len) {
+        const std::uint8_t kind = r.get_u8();
+        if (kind == 0) break;      // end of options
+        if (kind == 1) continue;   // no-op padding
+        const std::uint8_t len = r.get_u8();
+        if (len < 2 || r.position() + (len - 2) > header_len) {
+            throw util::DecodeError("bad TCP option length");
+        }
+        if (kind == 2 && len == 4) {
+            h.mss = r.get_u16();
+        } else {
+            r.skip(len - 2);
+        }
+    }
+    payload_out = segment.subspan(header_len);
+    return h;
+}
+
+}  // namespace catenet::tcp

@@ -1,0 +1,47 @@
+// RFC 793 TCP segment header with the MSS option (kind 2), encoded in real
+// wire format with the pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/byte_buffer.h"
+#include "util/ip_address.h"
+
+namespace catenet::tcp {
+
+inline constexpr std::size_t kTcpHeaderSize = 20;
+
+struct TcpFlags {
+    bool fin = false;
+    bool syn = false;
+    bool rst = false;
+    bool psh = false;
+    bool ack = false;
+    bool urg = false;
+};
+
+struct TcpHeader {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    TcpFlags flags;
+    std::uint16_t window = 0;
+    std::uint16_t urgent_pointer = 0;
+    /// Maximum segment size option; carried on SYN segments only.
+    std::optional<std::uint16_t> mss;
+};
+
+/// Serializes header + payload with checksum over the pseudo-header.
+util::ByteBuffer encode_tcp(const TcpHeader& header, util::Ipv4Address src,
+                            util::Ipv4Address dst, std::span<const std::uint8_t> payload);
+
+/// Decodes and checksum-verifies a segment. Returns nullopt on checksum
+/// failure; throws util::DecodeError when structurally malformed.
+std::optional<TcpHeader> decode_tcp(util::Ipv4Address src, util::Ipv4Address dst,
+                                    std::span<const std::uint8_t> segment,
+                                    std::span<const std::uint8_t>& payload_out);
+
+}  // namespace catenet::tcp

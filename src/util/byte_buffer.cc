@@ -1,0 +1,98 @@
+#include "util/byte_buffer.h"
+
+namespace catenet::util {
+
+void BufferWriter::put_u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void BufferWriter::put_u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void BufferWriter::put_u64(std::uint64_t v) {
+    put_u32(static_cast<std::uint32_t>(v >> 32));
+    put_u32(static_cast<std::uint32_t>(v & 0xffffffffu));
+}
+
+void BufferWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void BufferWriter::put_zero(std::size_t count) {
+    buf_.insert(buf_.end(), count, 0);
+}
+
+void BufferWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf_.size()) {
+        throw std::out_of_range("BufferWriter::patch_u16 past end");
+    }
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void BufferReader::require(std::size_t count) const {
+    if (pos_ + count > data_.size()) {
+        throw DecodeError("truncated buffer: need " + std::to_string(count) +
+                          " bytes at offset " + std::to_string(pos_) + ", have " +
+                          std::to_string(data_.size() - pos_));
+    }
+}
+
+std::uint8_t BufferReader::get_u8() {
+    require(1);
+    return data_[pos_++];
+}
+
+std::uint16_t BufferReader::get_u16() {
+    require(2);
+    auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t BufferReader::get_u32() {
+    require(4);
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t BufferReader::get_u64() {
+    std::uint64_t hi = get_u32();
+    std::uint64_t lo = get_u32();
+    return (hi << 32) | lo;
+}
+
+std::span<const std::uint8_t> BufferReader::get_bytes(std::size_t count) {
+    require(count);
+    auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+}
+
+void BufferReader::skip(std::size_t count) {
+    require(count);
+    pos_ += count;
+}
+
+ByteBuffer to_buffer(std::span<const std::uint8_t> bytes) {
+    return ByteBuffer(bytes.begin(), bytes.end());
+}
+
+ByteBuffer buffer_from_string(const std::string& s) {
+    return ByteBuffer(s.begin(), s.end());
+}
+
+std::string string_from_buffer(std::span<const std::uint8_t> bytes) {
+    return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace catenet::util

@@ -1,0 +1,47 @@
+#include "util/checksum.h"
+
+namespace catenet::util {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) {
+    std::size_t i = 0;
+    for (; i + 1 < bytes.size(); i += 2) {
+        sum_ += static_cast<std::uint16_t>((bytes[i] << 8) | bytes[i + 1]);
+    }
+    if (i < bytes.size()) {
+        sum_ += static_cast<std::uint16_t>(bytes[i] << 8);
+    }
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+    std::uint64_t s = sum_;
+    while (s >> 16) {
+        s = (s & 0xffff) + (s >> 16);
+    }
+    return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+    ChecksumAccumulator acc;
+    acc.add(bytes);
+    return acc.finish();
+}
+
+bool checksum_valid(std::span<const std::uint8_t> bytes) {
+    // A buffer containing a correct checksum sums (one's complement) to
+    // 0xffff, so the folded complement is zero.
+    return internet_checksum(bytes) == 0;
+}
+
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+    ChecksumAccumulator acc;
+    acc.add_u32(src.value());
+    acc.add_u32(dst.value());
+    acc.add_u16(protocol);  // zero byte + protocol
+    acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+    acc.add(segment);
+    return acc.finish();
+}
+
+}  // namespace catenet::util

@@ -1,0 +1,87 @@
+#include "util/ip_address.h"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace catenet::util {
+
+namespace {
+
+// Parses a decimal integer in [0, max] from [begin, end); returns the
+// position one past the last digit consumed. Throws on failure.
+const char* parse_component(const char* begin, const char* end, long max, long& out,
+                            const std::string& context) {
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr == begin || out < 0 || out > max) {
+        throw std::invalid_argument("bad component in '" + context + "'");
+    }
+    return ptr;
+}
+
+}  // namespace
+
+Ipv4Address Ipv4Address::parse(const std::string& dotted) {
+    const char* p = dotted.data();
+    const char* end = p + dotted.size();
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        long component = 0;
+        p = parse_component(p, end, 255, component, dotted);
+        value = (value << 8) | static_cast<std::uint32_t>(component);
+        if (i < 3) {
+            if (p == end || *p != '.') {
+                throw std::invalid_argument("expected '.' in '" + dotted + "'");
+            }
+            ++p;
+        }
+    }
+    if (p != end) {
+        throw std::invalid_argument("trailing characters in '" + dotted + "'");
+    }
+    return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+    std::ostringstream os;
+    os << ((addr_ >> 24) & 0xff) << '.' << ((addr_ >> 16) & 0xff) << '.'
+       << ((addr_ >> 8) & 0xff) << '.' << (addr_ & 0xff);
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr) {
+    return os << addr.to_string();
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address addr, int length) : len_(length) {
+    if (length < 0 || length > 32) {
+        throw std::invalid_argument("prefix length out of range: " + std::to_string(length));
+    }
+    addr_ = Ipv4Address(addr.value() & mask());
+}
+
+Ipv4Prefix Ipv4Prefix::parse(const std::string& cidr) {
+    auto slash = cidr.find('/');
+    if (slash == std::string::npos) {
+        throw std::invalid_argument("missing '/' in '" + cidr + "'");
+    }
+    auto addr = Ipv4Address::parse(cidr.substr(0, slash));
+    long len = 0;
+    const char* begin = cidr.data() + slash + 1;
+    const char* end = cidr.data() + cidr.size();
+    if (parse_component(begin, end, 32, len, cidr) != end) {
+        throw std::invalid_argument("trailing characters in '" + cidr + "'");
+    }
+    return Ipv4Prefix(addr, static_cast<int>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+    return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& prefix) {
+    return os << prefix.to_string();
+}
+
+}  // namespace catenet::util

@@ -1,0 +1,78 @@
+// IPv4 address and prefix value types. Addresses are held in host byte
+// order internally and serialized big-endian by the codecs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace catenet::util {
+
+/// An IPv4 address. Trivially copyable value type.
+class Ipv4Address {
+public:
+    constexpr Ipv4Address() = default;
+    constexpr explicit Ipv4Address(std::uint32_t host_order) : addr_(host_order) {}
+    constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+    /// Parses dotted-quad notation; throws std::invalid_argument on bad input.
+    static Ipv4Address parse(const std::string& dotted);
+
+    constexpr std::uint32_t value() const noexcept { return addr_; }
+    constexpr bool is_unspecified() const noexcept { return addr_ == 0; }
+
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+private:
+    std::uint32_t addr_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address addr);
+
+/// A CIDR prefix: address plus mask length. Used by routing tables.
+class Ipv4Prefix {
+public:
+    constexpr Ipv4Prefix() = default;
+    /// Throws std::invalid_argument if `length > 32`. The address is
+    /// canonicalized (host bits cleared).
+    Ipv4Prefix(Ipv4Address addr, int length);
+
+    /// Parses "a.b.c.d/len".
+    static Ipv4Prefix parse(const std::string& cidr);
+
+    constexpr Ipv4Address address() const noexcept { return addr_; }
+    constexpr int length() const noexcept { return len_; }
+    constexpr std::uint32_t mask() const noexcept {
+        return len_ == 0 ? 0u : ~std::uint32_t{0} << (32 - len_);
+    }
+
+    /// True if `addr` falls inside this prefix.
+    constexpr bool contains(Ipv4Address addr) const noexcept {
+        return (addr.value() & mask()) == addr_.value();
+    }
+
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+private:
+    Ipv4Address addr_;
+    int len_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& prefix);
+
+}  // namespace catenet::util
+
+template <>
+struct std::hash<catenet::util::Ipv4Address> {
+    std::size_t operator()(catenet::util::Ipv4Address a) const noexcept {
+        return std::hash<std::uint32_t>{}(a.value());
+    }
+};

@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace catenet::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold; }
+void set_log_threshold(LogLevel level) noexcept { g_threshold = level; }
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+    std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+}
+
+}  // namespace catenet::util

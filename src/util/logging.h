@@ -1,0 +1,57 @@
+// Minimal leveled logger. Off (Warn) by default so simulations stay quiet;
+// tests and debugging sessions can raise the level per run. Not thread-safe
+// by design — the simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace catenet::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded cheaply.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Emits one line to stderr with a level tag and component name.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+/// Stream-style helper: Logger("tcp").info() << "segment sent";
+class Logger {
+public:
+    explicit Logger(std::string component) : component_(std::move(component)) {}
+
+    class Line {
+    public:
+        Line(LogLevel level, const std::string& component)
+            : level_(level), component_(component), enabled_(level >= log_threshold()) {}
+        Line(const Line&) = delete;
+        Line& operator=(const Line&) = delete;
+        ~Line() {
+            if (enabled_) log_line(level_, component_, os_.str());
+        }
+        template <typename T>
+        Line& operator<<(const T& v) {
+            if (enabled_) os_ << v;
+            return *this;
+        }
+
+    private:
+        LogLevel level_;
+        const std::string& component_;
+        bool enabled_;
+        std::ostringstream os_;
+    };
+
+    Line trace() const { return Line(LogLevel::Trace, component_); }
+    Line debug() const { return Line(LogLevel::Debug, component_); }
+    Line info() const { return Line(LogLevel::Info, component_); }
+    Line warn() const { return Line(LogLevel::Warn, component_); }
+    Line error() const { return Line(LogLevel::Error, component_); }
+
+private:
+    std::string component_;
+};
+
+}  // namespace catenet::util

@@ -1,0 +1,19 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+namespace catenet::util {
+
+std::uint64_t Rng::geometric(double p) {
+    p = std::clamp(p, 1e-12, 1.0);
+    return 1 + static_cast<std::uint64_t>(
+                   std::geometric_distribution<std::uint64_t>(p)(engine_));
+}
+
+Rng Rng::fork() {
+    // Draw a fresh seed; the child stream is independent of subsequent
+    // draws from this generator.
+    return Rng(engine_());
+}
+
+}  // namespace catenet::util

@@ -1,0 +1,53 @@
+// Deterministic random-number generation for simulations. Every scenario
+// owns one Rng seeded explicitly; all stochastic models (loss, jitter,
+// workload interarrivals) draw from it, so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace catenet::util {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform real in [0, 1).
+    double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+    /// Bernoulli trial with probability p of returning true.
+    bool chance(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform01() < p;
+    }
+
+    /// Exponentially distributed value with the given mean.
+    double exponential(double mean) {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /// Normally distributed value.
+    double normal(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Geometric number of trials until first success (>= 1), capped for safety.
+    std::uint64_t geometric(double p);
+
+    /// Derives an independent child generator (e.g. one per traffic source)
+    /// so adding a source does not perturb another source's draws.
+    Rng fork();
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace catenet::util

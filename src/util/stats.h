@@ -1,0 +1,77 @@
+// Measurement helpers used by tests and benchmarks: streaming summary
+// statistics and an exact percentile estimator (stores samples).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catenet::util {
+
+/// Streaming count/mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x);
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept { return count_ ? mean_ : 0.0; }
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return count_ ? min_ : 0.0; }
+    double max() const noexcept { return count_ ? max_ : 0.0; }
+    double sum() const noexcept { return sum_; }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Stores samples; answers arbitrary percentile queries exactly.
+/// Suitable for the sample counts simulations produce (<= millions).
+class Percentiles {
+public:
+    void add(double x) { samples_.push_back(x); }
+
+    std::size_t count() const noexcept { return samples_.size(); }
+
+    /// p in [0, 100]. Returns 0 when empty. Linear interpolation between
+    /// order statistics.
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram for distribution summaries in bench output.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+    std::size_t bucket_count() const noexcept { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t underflow() const noexcept { return underflow_; }
+    std::uint64_t overflow() const noexcept { return overflow_; }
+    std::uint64_t total() const noexcept { return total_; }
+
+    /// Renders a compact ASCII bar chart (one line per bucket).
+    std::string render(std::size_t width = 40) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace catenet::util

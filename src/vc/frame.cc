@@ -1,0 +1,73 @@
+#include "vc/frame.h"
+
+namespace catenet::vc {
+
+VcFrame VcFrame::call_request(std::uint16_t vci, VcAddress dst, VcAddress src) {
+    VcFrame f;
+    f.type = VcFrameType::CallRequest;
+    f.vci = vci;
+    util::BufferWriter w(4);
+    w.put_u16(dst);
+    w.put_u16(src);
+    f.body = w.take();
+    return f;
+}
+
+VcFrame VcFrame::call_accept(std::uint16_t vci) {
+    VcFrame f;
+    f.type = VcFrameType::CallAccept;
+    f.vci = vci;
+    return f;
+}
+
+VcFrame VcFrame::call_clear(std::uint16_t vci, std::uint8_t cause) {
+    VcFrame f;
+    f.type = VcFrameType::CallClear;
+    f.vci = vci;
+    f.body.push_back(cause);
+    return f;
+}
+
+VcFrame VcFrame::data(std::uint16_t vci, std::span<const std::uint8_t> payload) {
+    VcFrame f;
+    f.type = VcFrameType::Data;
+    f.vci = vci;
+    f.body = util::to_buffer(payload);
+    return f;
+}
+
+VcAddress VcFrame::requested_dst() const {
+    util::BufferReader r(body);
+    return r.get_u16();
+}
+
+VcAddress VcFrame::requested_src() const {
+    util::BufferReader r(body);
+    r.skip(2);
+    return r.get_u16();
+}
+
+util::ByteBuffer encode_frame(const VcFrame& frame) {
+    util::BufferWriter w(3 + frame.body.size());
+    w.put_u8(static_cast<std::uint8_t>(frame.type));
+    w.put_u16(frame.vci);
+    w.put_bytes(frame.body);
+    return w.take();
+}
+
+std::optional<VcFrame> decode_frame(std::span<const std::uint8_t> wire) {
+    try {
+        util::BufferReader r(wire);
+        VcFrame f;
+        const auto type = r.get_u8();
+        if (type < 1 || type > 4) return std::nullopt;
+        f.type = static_cast<VcFrameType>(type);
+        f.vci = r.get_u16();
+        f.body = util::to_buffer(r.remaining());
+        return f;
+    } catch (const util::DecodeError&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace catenet::vc

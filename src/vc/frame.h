@@ -1,0 +1,56 @@
+// Frame formats for the virtual-circuit baseline network — the
+// architecture the paper contrasts with datagrams: connection state lives
+// *inside the network* (each switch holds a circuit table entry per call)
+// and reliability is hop-by-hop (each link runs its own ARQ), X.25-style.
+//
+// Link wire format: every frame is wrapped in an ARQ envelope
+//   {kind(1) seq(2) ack(2)} — kind Data carries a VC frame, kind Ack is
+// bare. The VC frame inside is {type(1) vci(2) body}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/byte_buffer.h"
+
+namespace catenet::vc {
+
+/// Network-level address of a VC host (like an X.121 address, shortened).
+using VcAddress = std::uint16_t;
+
+enum class VcFrameType : std::uint8_t {
+    CallRequest = 1,  ///< body: dst address (2), src address (2)
+    CallAccept = 2,   ///< body: empty
+    CallClear = 3,    ///< body: cause (1)
+    Data = 4,         ///< body: payload bytes
+};
+
+/// Clear causes.
+inline constexpr std::uint8_t kClearByUser = 0;
+inline constexpr std::uint8_t kClearNoRoute = 1;
+inline constexpr std::uint8_t kClearUnknownCircuit = 2;
+inline constexpr std::uint8_t kClearLinkFailure = 3;
+inline constexpr std::uint8_t kClearNoResources = 4;
+
+struct VcFrame {
+    VcFrameType type = VcFrameType::Data;
+    std::uint16_t vci = 0;
+    util::ByteBuffer body;
+
+    static VcFrame call_request(std::uint16_t vci, VcAddress dst, VcAddress src);
+    static VcFrame call_accept(std::uint16_t vci);
+    static VcFrame call_clear(std::uint16_t vci, std::uint8_t cause);
+    static VcFrame data(std::uint16_t vci, std::span<const std::uint8_t> payload);
+
+    /// For CallRequest frames.
+    VcAddress requested_dst() const;
+    VcAddress requested_src() const;
+    /// For CallClear frames.
+    std::uint8_t clear_cause() const { return body.empty() ? kClearByUser : body[0]; }
+};
+
+util::ByteBuffer encode_frame(const VcFrame& frame);
+std::optional<VcFrame> decode_frame(std::span<const std::uint8_t> wire);
+
+}  // namespace catenet::vc

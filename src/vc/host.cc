@@ -1,0 +1,106 @@
+#include "vc/host.h"
+
+#include <stdexcept>
+
+namespace catenet::vc {
+
+bool VcCall::send(std::span<const std::uint8_t> data) {
+    if (state_ != CallState::Connected || host_ == nullptr) return false;
+    const std::size_t chunk = host_->config_.frame_payload;
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+        const std::size_t len = std::min(chunk, data.size() - pos);
+        host_->send_frame(VcFrame::data(vci_, data.subspan(pos, len)));
+    }
+    return true;
+}
+
+void VcCall::clear(std::uint8_t cause) {
+    if (state_ == CallState::Cleared || host_ == nullptr) return;
+    state_ = CallState::Cleared;
+    host_->send_frame(VcFrame::call_clear(vci_, cause));
+    host_->calls_.erase(vci_);
+}
+
+VcHost::VcHost(sim::Simulator& sim, VcAddress address, std::string name, VcHostConfig config)
+    : sim_(sim), address_(address), name_(std::move(name)), config_(config) {}
+
+void VcHost::attach(link::NetIf& netif) {
+    if (link_) throw std::logic_error("VcHost::attach called twice");
+    link_ = std::make_unique<LinkArq>(sim_, netif, config_.arq);
+    link_->set_deliver([this](util::ByteBuffer frame) { on_frame(frame); });
+    link_->set_on_link_failed([this] { on_link_failed(); });
+}
+
+std::shared_ptr<VcCall> VcHost::place_call(VcAddress dst) {
+    if (!link_) throw std::logic_error("VcHost: no access link attached");
+    const std::uint16_t vci = next_vci_++;
+    if (next_vci_ == 0) next_vci_ = 0x8000;
+    auto call = std::shared_ptr<VcCall>(new VcCall(*this, vci, dst, CallState::Requesting));
+    calls_[vci] = call;
+    send_frame(VcFrame::call_request(vci, dst, address_));
+    return call;
+}
+
+void VcHost::send_frame(const VcFrame& frame) {
+    if (link_) link_->send(encode_frame(frame));
+}
+
+void VcHost::on_frame(const util::ByteBuffer& wire) {
+    auto frame = decode_frame(wire);
+    if (!frame) return;
+
+    switch (frame->type) {
+        case VcFrameType::CallRequest: {
+            // Incoming call: auto-accept (applications refuse via clear()).
+            auto call = std::shared_ptr<VcCall>(
+                new VcCall(*this, frame->vci, frame->requested_src(), CallState::Connected));
+            calls_[frame->vci] = call;
+            send_frame(VcFrame::call_accept(frame->vci));
+            if (incoming_) incoming_(call);
+            return;
+        }
+        case VcFrameType::CallAccept: {
+            auto it = calls_.find(frame->vci);
+            if (it == calls_.end()) return;
+            auto call = it->second;
+            if (call->state_ == CallState::Requesting) {
+                call->state_ = CallState::Connected;
+                if (call->on_accepted) call->on_accepted();
+            }
+            return;
+        }
+        case VcFrameType::Data: {
+            auto it = calls_.find(frame->vci);
+            if (it == calls_.end()) {
+                send_frame(VcFrame::call_clear(frame->vci, kClearUnknownCircuit));
+                return;
+            }
+            auto call = it->second;
+            call->bytes_received_ += frame->body.size();
+            if (call->on_data) call->on_data(frame->body);
+            return;
+        }
+        case VcFrameType::CallClear: {
+            auto it = calls_.find(frame->vci);
+            if (it == calls_.end()) return;
+            auto call = it->second;
+            calls_.erase(it);
+            call->state_ = CallState::Cleared;
+            if (call->on_cleared) call->on_cleared(frame->clear_cause());
+            return;
+        }
+    }
+}
+
+void VcHost::on_link_failed() {
+    // Access link dead: every call is gone.
+    auto calls = std::move(calls_);
+    calls_.clear();
+    link_->reset();
+    for (auto& [vci, call] : calls) {
+        call->state_ = CallState::Cleared;
+        if (call->on_cleared) call->on_cleared(kClearLinkFailure);
+    }
+}
+
+}  // namespace catenet::vc

@@ -1,0 +1,100 @@
+// A host on the virtual-circuit network: places and accepts calls over its
+// single access link. Data on an accepted call is delivered reliably and
+// in order by the network itself (hop-by-hop ARQ + circuit switching) —
+// the host needs no transport protocol, which is the VC architecture's
+// selling point and its survivability downfall.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "link/netif.h"
+#include "sim/simulator.h"
+#include "vc/frame.h"
+#include "vc/link_arq.h"
+
+namespace catenet::vc {
+
+class VcHost;
+
+enum class CallState { Requesting, Connected, Cleared };
+
+/// One end of a call. Lives in a shared_ptr held by both the host and the
+/// application.
+class VcCall : public std::enable_shared_from_this<VcCall> {
+public:
+    std::function<void()> on_accepted;
+    std::function<void(std::span<const std::uint8_t>)> on_data;
+    std::function<void(std::uint8_t cause)> on_cleared;
+
+    CallState state() const noexcept { return state_; }
+    VcAddress peer() const noexcept { return peer_; }
+
+    /// Sends bytes, chunked into data frames of the configured size.
+    /// Returns false if the call is not connected.
+    bool send(std::span<const std::uint8_t> data);
+
+    /// Hangs up.
+    void clear(std::uint8_t cause = kClearByUser);
+
+    std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+
+private:
+    friend class VcHost;
+    VcCall(VcHost& host, std::uint16_t vci, VcAddress peer, CallState state)
+        : host_(&host), vci_(vci), peer_(peer), state_(state) {}
+
+    VcHost* host_;
+    std::uint16_t vci_;
+    VcAddress peer_;
+    CallState state_;
+    std::uint64_t bytes_received_ = 0;
+};
+
+struct VcHostConfig {
+    std::size_t frame_payload = 128;  ///< X.25-era data frame size
+    LinkArqConfig arq;
+};
+
+class VcHost {
+public:
+    using IncomingHandler = std::function<void(std::shared_ptr<VcCall>)>;
+
+    VcHost(sim::Simulator& sim, VcAddress address, std::string name,
+           VcHostConfig config = {});
+
+    /// Attaches the access link (call once).
+    void attach(link::NetIf& netif);
+
+    /// Places a call; result arrives via the call's callbacks.
+    std::shared_ptr<VcCall> place_call(VcAddress dst);
+
+    /// Handler for incoming calls (auto-accepted).
+    void set_incoming_handler(IncomingHandler handler) { incoming_ = std::move(handler); }
+
+    VcAddress address() const noexcept { return address_; }
+    std::size_t active_calls() const noexcept { return calls_.size(); }
+    const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class VcCall;
+
+    void on_frame(const util::ByteBuffer& wire);
+    void on_link_failed();
+    void send_frame(const VcFrame& frame);
+
+    sim::Simulator& sim_;
+    VcAddress address_;
+    std::string name_;
+    VcHostConfig config_;
+    std::unique_ptr<LinkArq> link_;
+    std::map<std::uint16_t, std::shared_ptr<VcCall>> calls_;
+    IncomingHandler incoming_;
+    std::uint16_t next_vci_ = 0x8000;  ///< host-originated calls use high vcis
+};
+
+}  // namespace catenet::vc

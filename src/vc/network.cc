@@ -1,0 +1,79 @@
+#include "vc/network.h"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace catenet::vc {
+
+VcNetwork::VcNetwork(sim::Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+std::size_t VcNetwork::add_switch(const std::string& name, LinkArqConfig arq) {
+    switches_.push_back(std::make_unique<VcSwitch>(sim_, name, arq));
+    adjacency_.emplace_back();
+    return switches_.size() - 1;
+}
+
+std::size_t VcNetwork::add_host(VcAddress address, const std::string& name,
+                                VcHostConfig config) {
+    hosts_.push_back(std::make_unique<VcHost>(sim_, address, name, config));
+    return hosts_.size() - 1;
+}
+
+std::size_t VcNetwork::connect_switches(std::size_t a, std::size_t b,
+                                        const link::LinkParams& params) {
+    auto link = std::make_unique<link::PointToPointLink>(
+        sim_, rng_, params,
+        switches_.at(a)->name() + "-" + switches_.at(b)->name());
+    const std::size_t port_a = switches_[a]->attach_port(link->port_a());
+    const std::size_t port_b = switches_[b]->attach_port(link->port_b());
+    adjacency_[a].push_back(Edge{b, port_a});
+    adjacency_[b].push_back(Edge{a, port_b});
+    links_.push_back(std::move(link));
+    return links_.size() - 1;
+}
+
+std::size_t VcNetwork::connect_host(std::size_t host, std::size_t sw,
+                                    const link::LinkParams& params) {
+    auto link = std::make_unique<link::PointToPointLink>(
+        sim_, rng_, params, hosts_.at(host)->name() + "-" + switches_.at(sw)->name());
+    hosts_[host]->attach(link->port_a());
+    const std::size_t port = switches_[sw]->attach_port(link->port_b());
+    attachments_.push_back(HostAttachment{host, sw, port});
+    links_.push_back(std::move(link));
+    return links_.size() - 1;
+}
+
+void VcNetwork::compute_routes() {
+    constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+
+    for (const auto& attachment : attachments_) {
+        const VcAddress dst = hosts_[attachment.host]->address();
+        // BFS from the attachment switch across the switch graph.
+        std::vector<std::size_t> dist(switches_.size(), kUnreached);
+        std::vector<std::size_t> via_port(switches_.size(), kUnreached);
+        std::deque<std::size_t> frontier;
+        dist[attachment.sw] = 0;
+        switches_[attachment.sw]->set_route(dst, attachment.port);
+        frontier.push_back(attachment.sw);
+        while (!frontier.empty()) {
+            const std::size_t current = frontier.front();
+            frontier.pop_front();
+            for (const Edge& edge : adjacency_[current]) {
+                if (dist[edge.peer_switch] != kUnreached) continue;
+                dist[edge.peer_switch] = dist[current] + 1;
+                // The peer reaches `dst` by sending toward `current`: find
+                // the peer's port on this edge.
+                for (const Edge& back : adjacency_[edge.peer_switch]) {
+                    if (back.peer_switch == current) {
+                        switches_[edge.peer_switch]->set_route(dst, back.local_port);
+                        break;
+                    }
+                }
+                frontier.push_back(edge.peer_switch);
+            }
+        }
+    }
+}
+
+}  // namespace catenet::vc

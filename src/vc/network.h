@@ -1,0 +1,81 @@
+// Topology builder for the virtual-circuit baseline: wires switches and
+// hosts together over point-to-point links and computes static shortest-
+// path call-routing tables (the network operator's job in an X.25 world).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "link/point_to_point.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "vc/host.h"
+#include "vc/switch.h"
+
+namespace catenet::vc {
+
+class VcNetwork {
+public:
+    VcNetwork(sim::Simulator& sim, std::uint64_t seed);
+
+    /// Adds a switch; returns its index.
+    std::size_t add_switch(const std::string& name, LinkArqConfig arq = {});
+
+    /// Adds a host with the given network address; returns its index.
+    std::size_t add_host(VcAddress address, const std::string& name,
+                         VcHostConfig config = {});
+
+    /// Connects two switches; returns the link index.
+    std::size_t connect_switches(std::size_t a, std::size_t b,
+                                 const link::LinkParams& params);
+
+    /// Connects a host's access line to a switch; returns the link index.
+    std::size_t connect_host(std::size_t host, std::size_t sw,
+                             const link::LinkParams& params);
+
+    /// Computes shortest-path routes (hop count) from every switch to
+    /// every host address. Call after the topology is complete.
+    void compute_routes();
+
+    VcSwitch& switch_at(std::size_t i) { return *switches_.at(i); }
+    VcHost& host_at(std::size_t i) { return *hosts_.at(i); }
+    link::PointToPointLink& link_at(std::size_t i) { return *links_.at(i); }
+    std::size_t link_count() const noexcept { return links_.size(); }
+    std::size_t switch_count() const noexcept { return switches_.size(); }
+
+    /// Total bytes clocked onto all wires (byte-hops cost metric, E5).
+    std::uint64_t total_link_bytes() const {
+        std::uint64_t total = 0;
+        for (const auto& link : links_) {
+            total += link->port_a().stats().bytes_sent + link->port_b().stats().bytes_sent;
+        }
+        return total;
+    }
+
+    void fail_switch(std::size_t i) { switches_.at(i)->set_down(true); }
+    void restore_switch(std::size_t i) { switches_.at(i)->set_down(false); }
+
+private:
+    struct Edge {
+        std::size_t peer_switch;  ///< adjacent switch index
+        std::size_t local_port;   ///< port on this switch toward the peer
+    };
+
+    sim::Simulator& sim_;
+    util::Rng rng_;
+    std::vector<std::unique_ptr<VcSwitch>> switches_;
+    std::vector<std::unique_ptr<VcHost>> hosts_;
+    std::vector<std::unique_ptr<link::PointToPointLink>> links_;
+    // adjacency among switches, plus host attachments
+    std::vector<std::vector<Edge>> adjacency_;
+    struct HostAttachment {
+        std::size_t host;
+        std::size_t sw;
+        std::size_t port;  ///< switch port toward the host
+    };
+    std::vector<HostAttachment> attachments_;
+};
+
+}  // namespace catenet::vc

@@ -1,0 +1,130 @@
+#include "vc/switch.h"
+
+#include <algorithm>
+
+namespace catenet::vc {
+
+VcSwitch::VcSwitch(sim::Simulator& sim, std::string name, LinkArqConfig arq_config)
+    : sim_(sim), name_(std::move(name)), arq_config_(arq_config) {}
+
+std::size_t VcSwitch::attach_port(link::NetIf& netif) {
+    const std::size_t port = ports_.size();
+    ports_.push_back(std::make_unique<LinkArq>(sim_, netif, arq_config_));
+    netifs_.push_back(&netif);
+    next_vci_.push_back(1);
+    ports_[port]->set_deliver([this, port](util::ByteBuffer frame) {
+        if (!down_) on_frame(port, frame);
+    });
+    ports_[port]->set_on_link_failed([this, port] {
+        if (!down_) on_link_failed(port);
+    });
+    return port;
+}
+
+void VcSwitch::set_route(VcAddress dst, std::size_t port) { routes_[dst] = port; }
+
+void VcSwitch::set_down(bool down) {
+    down_ = down;
+    if (down) {
+        // The crash: every circuit through this switch ceases to exist.
+        circuits_.clear();
+        for (auto& port : ports_) port->reset();
+    }
+    for (auto* netif : netifs_) netif->set_up(!down);
+}
+
+std::size_t VcSwitch::state_bytes() const noexcept {
+    std::size_t bytes = circuits_.size() * sizeof(std::pair<HalfKey, HalfKey>);
+    for (const auto& port : ports_) bytes += port->backlog() * 64;  // approx frame state
+    return bytes;
+}
+
+std::uint16_t VcSwitch::allocate_vci(std::size_t port) {
+    // Find a vci unused on this port (as our outbound identifier).
+    for (int attempts = 0; attempts < 0xffff; ++attempts) {
+        const std::uint16_t candidate = next_vci_[port]++;
+        if (next_vci_[port] == 0) next_vci_[port] = 1;
+        if (candidate != 0 && !circuits_.contains({port, candidate})) return candidate;
+    }
+    return 0;
+}
+
+void VcSwitch::on_frame(std::size_t port, const util::ByteBuffer& wire) {
+    auto frame = decode_frame(wire);
+    if (!frame) return;
+
+    switch (frame->type) {
+        case VcFrameType::CallRequest: {
+            const VcAddress dst = frame->requested_dst();
+            auto rit = routes_.find(dst);
+            if (rit == routes_.end() || rit->second >= ports_.size()) {
+                ++stats_.calls_refused;
+                ports_[port]->send(
+                    encode_frame(VcFrame::call_clear(frame->vci, kClearNoRoute)));
+                return;
+            }
+            const std::size_t out_port = rit->second;
+            const std::uint16_t out_vci = allocate_vci(out_port);
+            if (out_vci == 0) {
+                ++stats_.calls_refused;
+                ports_[port]->send(
+                    encode_frame(VcFrame::call_clear(frame->vci, kClearNoResources)));
+                return;
+            }
+            circuits_[{port, frame->vci}] = {out_port, out_vci};
+            circuits_[{out_port, out_vci}] = {port, frame->vci};
+            ++stats_.calls_routed;
+            VcFrame out = *frame;
+            out.vci = out_vci;
+            ports_[out_port]->send(encode_frame(out));
+            return;
+        }
+        case VcFrameType::CallAccept:
+        case VcFrameType::Data: {
+            auto it = circuits_.find({port, frame->vci});
+            if (it == circuits_.end()) {
+                // No such circuit (e.g. we crashed and lost it): clear.
+                ports_[port]->send(encode_frame(
+                    VcFrame::call_clear(frame->vci, kClearUnknownCircuit)));
+                return;
+            }
+            const auto [out_port, out_vci] = it->second;
+            VcFrame out = *frame;
+            out.vci = out_vci;
+            ++stats_.frames_switched;
+            ports_[out_port]->send(encode_frame(out));
+            return;
+        }
+        case VcFrameType::CallClear: {
+            auto it = circuits_.find({port, frame->vci});
+            if (it == circuits_.end()) return;
+            const auto [out_port, out_vci] = it->second;
+            circuits_.erase({out_port, out_vci});
+            circuits_.erase(it);
+            ++stats_.calls_cleared;
+            VcFrame out = *frame;
+            out.vci = out_vci;
+            ports_[out_port]->send(encode_frame(out));
+            return;
+        }
+    }
+}
+
+void VcSwitch::on_link_failed(std::size_t port) {
+    // Clear every circuit that uses the dead port, notifying the other
+    // side of each.
+    std::vector<std::pair<HalfKey, HalfKey>> doomed;
+    for (const auto& [in, out] : circuits_) {
+        if (in.first == port) doomed.emplace_back(in, out);
+    }
+    for (const auto& [in, out] : doomed) {
+        circuits_.erase(in);
+        circuits_.erase(out);
+        ++stats_.calls_cleared;
+        ports_[out.first]->send(
+            encode_frame(VcFrame::call_clear(out.second, kClearLinkFailure)));
+    }
+    ports_[port]->reset();
+}
+
+}  // namespace catenet::vc

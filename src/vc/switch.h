@@ -1,0 +1,73 @@
+// A virtual-circuit switch: the anti-gateway. Where an ip::IpStack gateway
+// holds only a routing table, this switch holds **per-call state** — one
+// circuit-table entry pair per active call — plus per-link ARQ state.
+// Killing it destroys every call routed through it (experiments E1/E8
+// measure exactly that), and its neighbors must detect the failure and
+// clear the orphaned circuit segments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "link/netif.h"
+#include "sim/simulator.h"
+#include "vc/frame.h"
+#include "vc/link_arq.h"
+
+namespace catenet::vc {
+
+struct VcSwitchStats {
+    std::uint64_t calls_routed = 0;
+    std::uint64_t calls_cleared = 0;
+    std::uint64_t calls_refused = 0;
+    std::uint64_t frames_switched = 0;
+};
+
+class VcSwitch {
+public:
+    VcSwitch(sim::Simulator& sim, std::string name, LinkArqConfig arq_config = {});
+
+    /// Attaches a port (one side of a link). Returns the port index.
+    std::size_t attach_port(link::NetIf& netif);
+
+    /// Static route: calls to `dst` leave via `port`.
+    void set_route(VcAddress dst, std::size_t port);
+
+    /// Crash / restore. Crashing erases the circuit table (it lives in
+    /// switch memory — the whole point) and all link-ARQ state.
+    void set_down(bool down);
+    bool is_down() const noexcept { return down_; }
+
+    std::size_t active_circuits() const noexcept { return circuits_.size() / 2; }
+    /// Bytes of in-network connection state held right now (an entry pair
+    /// per call plus ARQ backlog) — the replication-cost metric for E8.
+    std::size_t state_bytes() const noexcept;
+
+    const VcSwitchStats& stats() const noexcept { return stats_; }
+    const std::string& name() const noexcept { return name_; }
+
+private:
+    using HalfKey = std::pair<std::size_t, std::uint16_t>;  // (port, vci)
+
+    void on_frame(std::size_t port, const util::ByteBuffer& wire);
+    void on_link_failed(std::size_t port);
+    void forward(std::size_t port, const VcFrame& frame);
+    std::uint16_t allocate_vci(std::size_t port);
+
+    sim::Simulator& sim_;
+    std::string name_;
+    LinkArqConfig arq_config_;
+    std::vector<std::unique_ptr<LinkArq>> ports_;
+    std::vector<link::NetIf*> netifs_;
+    std::map<VcAddress, std::size_t> routes_;
+    std::map<HalfKey, HalfKey> circuits_;  ///< both directions installed
+    std::vector<std::uint16_t> next_vci_;
+    VcSwitchStats stats_;
+    bool down_ = false;
+};
+
+}  // namespace catenet::vc

@@ -1,0 +1,150 @@
+// Codec property sweeps: every wire codec in the library round-trips
+// arbitrary field values exactly, across randomized inputs.
+#include <gtest/gtest.h>
+
+#include "ip/ipv4_header.h"
+#include "ip/protocols.h"
+#include "routing/messages.h"
+#include "tcp/tcp_header.h"
+#include "udp/udp.h"
+#include "util/random.h"
+#include "vc/frame.h"
+
+namespace catenet {
+namespace {
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    util::Rng rng{GetParam() * 131 + 17};
+
+    util::ByteBuffer random_payload(std::size_t max_len) {
+        util::ByteBuffer buf(rng.uniform(0, max_len));
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        return buf;
+    }
+};
+
+TEST_P(CodecProperty, Ipv4RoundTripsRandomFields) {
+    for (int i = 0; i < 300; ++i) {
+        ip::Ipv4Header h;
+        h.tos = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        h.identification = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.dont_fragment = rng.chance(0.5);
+        h.more_fragments = rng.chance(0.5);
+        h.fragment_offset = static_cast<std::uint16_t>(rng.uniform(0, 0x1fff));
+        h.ttl = static_cast<std::uint8_t>(rng.uniform(1, 255));
+        h.protocol = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        h.src = util::Ipv4Address(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)));
+        h.dst = util::Ipv4Address(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)));
+        const auto payload = random_payload(600);
+        const auto wire = ip::encode_datagram(h, payload);
+        ip::DecodedDatagram d;
+        ASSERT_TRUE(ip::decode_datagram(wire, d));
+        EXPECT_EQ(d.header.tos, h.tos);
+        EXPECT_EQ(d.header.identification, h.identification);
+        EXPECT_EQ(d.header.dont_fragment, h.dont_fragment);
+        EXPECT_EQ(d.header.more_fragments, h.more_fragments);
+        EXPECT_EQ(d.header.fragment_offset, h.fragment_offset);
+        EXPECT_EQ(d.header.ttl, h.ttl);
+        EXPECT_EQ(d.header.protocol, h.protocol);
+        EXPECT_EQ(d.header.src, h.src);
+        EXPECT_EQ(d.header.dst, h.dst);
+        EXPECT_EQ(d.payload_length, payload.size());
+    }
+}
+
+TEST_P(CodecProperty, TcpRoundTripsRandomFields) {
+    const util::Ipv4Address src(10, 1, 2, 3), dst(10, 4, 5, 6);
+    for (int i = 0; i < 300; ++i) {
+        tcp::TcpHeader h;
+        h.src_port = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.dst_port = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.seq = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff));
+        h.ack = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff));
+        h.flags.fin = rng.chance(0.5);
+        h.flags.syn = rng.chance(0.5);
+        h.flags.rst = rng.chance(0.5);
+        h.flags.psh = rng.chance(0.5);
+        h.flags.ack = rng.chance(0.5);
+        h.flags.urg = rng.chance(0.5);
+        h.window = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.urgent_pointer = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        if (rng.chance(0.5)) h.mss = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        const auto payload = random_payload(600);
+        const auto wire = tcp::encode_tcp(h, src, dst, payload);
+        std::span<const std::uint8_t> out;
+        const auto back = tcp::decode_tcp(src, dst, wire, out);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->src_port, h.src_port);
+        EXPECT_EQ(back->dst_port, h.dst_port);
+        EXPECT_EQ(back->seq, h.seq);
+        EXPECT_EQ(back->ack, h.ack);
+        EXPECT_EQ(back->flags.fin, h.flags.fin);
+        EXPECT_EQ(back->flags.syn, h.flags.syn);
+        EXPECT_EQ(back->flags.rst, h.flags.rst);
+        EXPECT_EQ(back->flags.psh, h.flags.psh);
+        EXPECT_EQ(back->flags.ack, h.flags.ack);
+        EXPECT_EQ(back->flags.urg, h.flags.urg);
+        EXPECT_EQ(back->window, h.window);
+        EXPECT_EQ(back->urgent_pointer, h.urgent_pointer);
+        EXPECT_EQ(back->mss, h.mss);
+        EXPECT_EQ(out.size(), payload.size());
+    }
+}
+
+TEST_P(CodecProperty, UdpRoundTripsRandomFields) {
+    const util::Ipv4Address src(1, 2, 3, 4), dst(4, 3, 2, 1);
+    for (int i = 0; i < 300; ++i) {
+        udp::UdpHeader h;
+        h.src_port = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.dst_port = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        const auto payload = random_payload(600);
+        const auto wire = udp::encode_udp(h, src, dst, payload);
+        std::span<const std::uint8_t> out;
+        const auto back = udp::decode_udp(src, dst, wire, out);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->src_port, h.src_port);
+        EXPECT_EQ(back->dst_port, h.dst_port);
+        ASSERT_EQ(out.size(), payload.size());
+        EXPECT_TRUE(std::equal(payload.begin(), payload.end(), out.begin()));
+    }
+}
+
+TEST_P(CodecProperty, RoutingMessagesRoundTripRandomTables) {
+    for (int i = 0; i < 100; ++i) {
+        routing::DvMessage msg;
+        const auto entries = rng.uniform(0, 50);
+        for (std::uint64_t e = 0; e < entries; ++e) {
+            msg.entries.push_back(routing::RouteEntry{
+                util::Ipv4Prefix(
+                    util::Ipv4Address(static_cast<std::uint32_t>(
+                        rng.uniform(0, 0xffffffff))),
+                    static_cast<int>(rng.uniform(0, 32))),
+                static_cast<std::uint32_t>(rng.uniform(0, 64))});
+        }
+        const auto back = routing::decode_dv(routing::encode_dv(msg));
+        ASSERT_TRUE(back.has_value());
+        ASSERT_EQ(back->entries.size(), msg.entries.size());
+        for (std::size_t e = 0; e < msg.entries.size(); ++e) {
+            EXPECT_EQ(back->entries[e].prefix, msg.entries[e].prefix);
+            EXPECT_EQ(back->entries[e].metric, msg.entries[e].metric);
+        }
+    }
+}
+
+TEST_P(CodecProperty, VcFramesRoundTripRandomBodies) {
+    for (int i = 0; i < 300; ++i) {
+        vc::VcFrame f = vc::VcFrame::data(
+            static_cast<std::uint16_t>(rng.uniform(0, 0xffff)), random_payload(200));
+        const auto back = vc::decode_frame(vc::encode_frame(f));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->type, f.type);
+        EXPECT_EQ(back->vci, f.vci);
+        EXPECT_EQ(back->body, f.body);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace catenet

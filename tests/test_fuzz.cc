@@ -1,0 +1,174 @@
+// Robustness ("fuzz") tests: every wire decoder must survive arbitrary
+// bytes — random garbage, truncations, and bit-flipped mutations of valid
+// packets — by either rejecting cleanly or decoding consistently. A node
+// fed garbage must drop it and keep forwarding. The only permitted
+// escape is util::DecodeError (and the decoders that promise optional
+// returns must not throw at all).
+#include <gtest/gtest.h>
+
+#include "core/flow.h"
+#include "core/internetwork.h"
+#include "ip/icmp.h"
+#include "ip/ipv4_header.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+#include "routing/messages.h"
+#include "tcp/tcp_header.h"
+#include "udp/udp.h"
+#include "util/random.h"
+#include "vc/frame.h"
+
+namespace catenet {
+namespace {
+
+util::ByteBuffer random_bytes(util::Rng& rng, std::size_t max_len) {
+    util::ByteBuffer buf(rng.uniform(0, max_len));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    return buf;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, IpDecoderNeverMisbehaves) {
+    util::Rng rng(GetParam());
+    for (int i = 0; i < 3000; ++i) {
+        const auto buf = random_bytes(rng, 128);
+        ip::DecodedDatagram d;
+        try {
+            if (ip::decode_datagram(buf, d)) {
+                // Claims valid: invariants must hold.
+                EXPECT_LE(d.payload_offset + d.payload_length, buf.size());
+                EXPECT_GE(d.header_length, ip::kIpv4HeaderSize);
+            }
+        } catch (const util::DecodeError&) {
+            // fine: rejected
+        }
+    }
+}
+
+TEST_P(FuzzSeeds, OptionalDecodersNeverThrow) {
+    util::Rng rng(GetParam() + 1000);
+    const util::Ipv4Address src(1, 2, 3, 4), dst(5, 6, 7, 8);
+    for (int i = 0; i < 3000; ++i) {
+        const auto buf = random_bytes(rng, 96);
+        EXPECT_NO_THROW({
+            (void)ip::decode_icmp(buf);
+            std::span<const std::uint8_t> out;
+            (void)udp::decode_udp(src, dst, buf, out);
+            (void)routing::decode_dv(buf);
+            (void)routing::decode_egp(buf);
+            (void)vc::decode_frame(buf);
+            (void)core::classify_packet(buf);
+        });
+    }
+}
+
+TEST_P(FuzzSeeds, TcpDecoderThrowsOnlyDecodeError) {
+    util::Rng rng(GetParam() + 2000);
+    const util::Ipv4Address src(1, 2, 3, 4), dst(5, 6, 7, 8);
+    for (int i = 0; i < 3000; ++i) {
+        const auto buf = random_bytes(rng, 96);
+        std::span<const std::uint8_t> payload;
+        try {
+            (void)tcp::decode_tcp(src, dst, buf, payload);
+        } catch (const util::DecodeError&) {
+        }
+    }
+}
+
+TEST_P(FuzzSeeds, MutatedValidPacketsAreRejectedOrConsistent) {
+    util::Rng rng(GetParam() + 3000);
+    // Start from a valid TCP/IP datagram and mutate it.
+    tcp::TcpHeader th;
+    th.src_port = 1234;
+    th.dst_port = 80;
+    th.flags.ack = true;
+    const util::Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+    const auto segment = tcp::encode_tcp(th, src, dst, util::ByteBuffer(64, 0x2a));
+    ip::Ipv4Header ih;
+    ih.protocol = ip::kProtoTcp;
+    ih.src = src;
+    ih.dst = dst;
+    const auto pristine = ip::encode_datagram(ih, segment);
+
+    for (int i = 0; i < 2000; ++i) {
+        auto mutant = pristine;
+        const auto mutations = rng.uniform(1, 4);
+        for (std::uint64_t m = 0; m < mutations; ++m) {
+            switch (rng.uniform(0, 2)) {
+                case 0: {  // bit flip
+                    const auto bit = rng.uniform(0, mutant.size() * 8 - 1);
+                    mutant[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+                    break;
+                }
+                case 1: {  // truncate
+                    if (mutant.size() > 1) {
+                        mutant.resize(rng.uniform(1, mutant.size() - 1));
+                    }
+                    break;
+                }
+                case 2: {  // extend with garbage
+                    mutant.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+                    break;
+                }
+            }
+        }
+        ip::DecodedDatagram d;
+        try {
+            if (ip::decode_datagram(mutant, d)) {
+                const auto payload = ip::payload_of(mutant, d);
+                std::span<const std::uint8_t> tcp_payload;
+                try {
+                    (void)tcp::decode_tcp(d.header.src, d.header.dst, payload,
+                                          tcp_payload);
+                } catch (const util::DecodeError&) {
+                }
+            }
+        } catch (const util::DecodeError&) {
+        }
+    }
+}
+
+TEST_P(FuzzSeeds, HostSurvivesGarbageInjection) {
+    util::Rng rng(GetParam() + 4000);
+    core::Internetwork net(GetParam());
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    core::Gateway& g = net.add_gateway("g");
+    net.connect(a, g, link::presets::ethernet_hop());
+    net.connect(g, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    // A real conversation to keep alive through the garbage storm.
+    auto rx = b.udp().bind(1000);
+    int delivered = 0;
+    rx->set_handler([&](auto, auto, auto) { ++delivered; });
+    auto tx = a.udp().bind_ephemeral();
+
+    for (int i = 0; i < 500; ++i) {
+        // Inject raw garbage straight into b's interface receive path.
+        b.ip().interface(0);  // ensure it exists
+        auto garbage = random_bytes(rng, 200);
+        // Also inject semi-valid garbage: pristine IP header, random body.
+        net.sim().schedule_after(sim::microseconds(i * 10), [&b, garbage] {
+            // Direct delivery through the nic callback is private; loop
+            // it through the peer gateway instead by sending from a with
+            // random protocol and payload.
+            (void)b;
+            (void)garbage;
+        });
+        const auto proto = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        a.ip().send(proto, b.address(), garbage);
+        if (i % 10 == 0) {
+            tx->send_to(b.address(), 1000, util::ByteBuffer{1, 2, 3});
+        }
+        net.run_for(sim::milliseconds(1));
+    }
+    net.run_for(sim::seconds(1));
+    EXPECT_EQ(delivered, 50) << "real traffic must flow through the garbage";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace catenet

@@ -1,0 +1,149 @@
+// Grand integration: one internet exercising every subsystem at once —
+// two administrative regions (DV interior + EGP border), a LAN, four link
+// technologies, fragmentation, all four application types, flow
+// accounting, and a mid-run gateway failure — with cross-checked
+// invariants at the end. If the architecture holds together anywhere, it
+// must hold together here.
+#include <gtest/gtest.h>
+
+#include "app/bulk.h"
+#include "app/interactive.h"
+#include "app/request_response.h"
+#include "app/traceroute.h"
+#include "app/voice.h"
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+
+namespace catenet {
+namespace {
+
+TEST(GrandIntegration, EverythingAtOnce) {
+    core::Internetwork net(20250706);
+
+    // --- region 1: an office LAN behind two gateways -------------------
+    core::Host& alice = net.add_host("alice");
+    core::Host& bob = net.add_host("bob");
+    core::Gateway& r1a = net.add_gateway("r1a");
+    core::Gateway& r1b = net.add_gateway("r1b");
+    const auto lan = net.add_lan(link::presets::ethernet_lan(), "office");
+    net.attach_to_lan(alice, lan);
+    net.attach_to_lan(bob, lan);
+    net.attach_to_lan(r1a, lan);
+    net.connect(r1a, r1b, link::presets::ethernet_hop());
+
+    // --- region 2: a data center -----------------------------------------
+    core::Host& server = net.add_host("server");
+    core::Gateway& r2a = net.add_gateway("r2a");
+    core::Gateway& r2b = net.add_gateway("r2b");
+    net.connect(r2a, r2b, link::presets::ethernet_hop());
+    net.connect(r2b, server, link::presets::ethernet_hop());
+
+    // --- inter-region links: satellite primary, radio backup ------------
+    const auto sat = net.connect(r1b, r2a, link::presets::satellite());
+    net.connect(r1b, r2a, link::presets::packet_radio());
+
+    // --- routing: DV interior, EGP between regions ----------------------
+    routing::DvConfig dv;
+    dv.period = sim::seconds(2);
+    dv.route_timeout = sim::seconds(7);
+    routing::EgpConfig egp_config;
+    egp_config.period = sim::seconds(3);
+    egp_config.route_timeout = sim::seconds(10);
+
+    r1a.enable_distance_vector(dv);
+    // r1b's interfaces: 0 = link to r1a, 1 = satellite, 2 = radio.
+    auto& dv_r1b = r1b.enable_distance_vector(dv);
+    dv_r1b.disable_interface(1);
+    dv_r1b.disable_interface(2);
+    auto& dv_r2a = r2a.enable_distance_vector(dv);
+    dv_r2a.disable_interface(1);  // r2a: 0 = to r2b, 1 = satellite, 2 = radio
+    dv_r2a.disable_interface(2);
+    r2b.enable_distance_vector(dv);
+    net.install_host_default_routes();
+
+    auto& egp1 = r1b.enable_egp(1, egp_config);
+    auto& egp2 = r2a.enable_egp(2, egp_config);
+    egp1.add_peer(r2a.ip().interface_address(1));
+    egp1.add_peer(r2a.ip().interface_address(2));
+    egp2.add_peer(r1b.ip().interface_address(1));
+    egp2.add_peer(r1b.ip().interface_address(2));
+
+    auto& books = r2a.enable_flow_accounting(sim::seconds(60));
+
+    net.run_for(sim::seconds(20));  // converge
+
+    // --- workloads --------------------------------------------------------
+    app::BulkServer file_server(server, 21);
+    app::BulkSender upload(alice, server.address(), 21, 1024 * 1024);
+    upload.start();
+
+    app::EchoServer echo(server, 23);
+    app::InteractiveConfig ic;
+    ic.mean_interkey = sim::milliseconds(400);
+    ic.tcp.nagle = false;
+    app::InteractiveClient typist(bob, server.address(), 23, ic);
+    typist.start();
+
+    app::RpcServer rpc_server(server, 111);
+    app::RpcClientConfig rpc_config;
+    rpc_config.mean_interarrival = sim::milliseconds(700);
+    app::RpcClient rpc(alice, server.address(), 111, rpc_config);
+    rpc.start();
+
+    app::VoiceOverUdp call(bob, server, 5004);
+    call.start(sim::seconds(120));
+
+    // --- run, with a mid-flight inter-region failure ---------------------
+    net.run_for(sim::seconds(30));
+    net.fail_link(sat);  // satellite dies; EGP + DV must move to radio
+    net.run_for(sim::seconds(60));
+    net.restore_link(sat);
+    net.run_for(sim::seconds(120));
+    typist.stop();
+    rpc.stop();
+    net.run_for(sim::seconds(240));  // drain
+
+    // --- invariants --------------------------------------------------------
+    // 1. The bulk upload completed exactly, despite the failover.
+    EXPECT_TRUE(upload.finished());
+    EXPECT_EQ(file_server.total_bytes_received(), 1024u * 1024u);
+    EXPECT_EQ(file_server.pattern_errors(), 0u);
+
+    // 2. Interactive and RPC sessions survived and made progress.
+    EXPECT_GT(typist.echoes_received(), typist.keystrokes_sent() / 2);
+    EXPECT_GT(rpc.responses_received(), 20u);
+
+    // 3. Voice kept flowing (loss during the failover window is expected
+    //    and bounded).
+    const auto report = call.report();
+    EXPECT_GT(report.frames_received, report.frames_sent / 2);
+
+    // 4. No gateway ever held reassembly state for through-traffic.
+    for (const auto* g : {&r1a, &r1b, &r2a, &r2b}) {
+        EXPECT_EQ(g->ip().reassembly_stats().fragments_received, 0u)
+            << g->name() << " must not reassemble in transit";
+    }
+
+    // 5. The border gateway's flow books saw all four conversations.
+    EXPECT_GE(books.stats().flows_created, 4u);
+
+    // 6. Fragmentation happened (radio MTU 512 < segment sizes) and was
+    //    repaired end to end (0 pattern errors above).
+    EXPECT_GT(r1b.ip().stats().fragments_created + r2a.ip().stats().fragments_created, 0u);
+
+    // 7. Cross-region reachability is restored end to end.
+    int replies = 0;
+    alice.ip().register_protocol(
+        ip::kProtoIcmp,
+        [&](const ip::Ipv4Header&, std::span<const std::uint8_t> p, std::size_t) {
+            auto m = ip::decode_icmp(p);
+            if (m && m->type == ip::IcmpType::EchoReply) ++replies;
+        });
+    alice.ip().ping(server.address(), 9, 9);
+    net.run_for(sim::seconds(5));
+    EXPECT_EQ(replies, 1);
+}
+
+}  // namespace
+}  // namespace catenet

@@ -1,0 +1,107 @@
+// Distance-vector over a shared LAN: multiple gateways hear each other's
+// broadcasts on one segment (the common campus topology of the era), and
+// hosts on the LAN reach stub networks behind any of them.
+#include <gtest/gtest.h>
+
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+
+namespace catenet::routing {
+namespace {
+
+struct LanRoutingFixture : ::testing::Test {
+    core::Internetwork net{171};
+    core::Host& pc = net.add_host("pc");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    core::Gateway& g3 = net.add_gateway("g3");
+    core::Host& stub1 = net.add_host("stub1");
+    core::Host& stub2 = net.add_host("stub2");
+
+    DvConfig fast() {
+        DvConfig c;
+        c.period = sim::seconds(1);
+        c.route_timeout = sim::milliseconds(3500);
+        return c;
+    }
+
+    void wire() {
+        const auto lan = net.add_lan(link::presets::ethernet_lan(), "campus");
+        net.attach_to_lan(pc, lan);
+        net.attach_to_lan(g1, lan);
+        net.attach_to_lan(g2, lan);
+        net.attach_to_lan(g3, lan);
+        net.connect(g1, stub1, link::presets::leased_line());
+        net.connect(g3, stub2, link::presets::packet_radio());
+        for (auto* g : {&g1, &g2, &g3}) g->enable_distance_vector(fast());
+        net.install_host_default_routes();
+    }
+
+    int ping(core::Host& from, util::Ipv4Address to) {
+        int replies = 0;
+        from.ip().register_protocol(
+            ip::kProtoIcmp,
+            [&replies](const ip::Ipv4Header&, std::span<const std::uint8_t> p,
+                       std::size_t) {
+                auto m = ip::decode_icmp(p);
+                if (m && m->type == ip::IcmpType::EchoReply) ++replies;
+            });
+        from.ip().ping(to, 1, 1);
+        net.run_for(sim::seconds(3));
+        return replies;
+    }
+};
+
+TEST_F(LanRoutingFixture, GatewaysLearnEachOthersStubsOverTheLan) {
+    wire();
+    net.run_for(sim::seconds(8));
+    // g2 has no stubs of its own but must know both via LAN broadcasts.
+    EXPECT_TRUE(g2.ip().routing_table().lookup(stub1.address()).has_value());
+    EXPECT_TRUE(g2.ip().routing_table().lookup(stub2.address()).has_value());
+    // And the direct owners know each other's.
+    EXPECT_TRUE(g1.ip().routing_table().lookup(stub2.address()).has_value());
+    EXPECT_TRUE(g3.ip().routing_table().lookup(stub1.address()).has_value());
+}
+
+TEST_F(LanRoutingFixture, HostReachesStubsBehindDifferentGateways) {
+    wire();
+    net.run_for(sim::seconds(8));
+    // The pc's default route points at one gateway; that gateway forwards
+    // across the LAN to the right border when needed.
+    EXPECT_EQ(ping(pc, stub1.address()), 1);
+    EXPECT_EQ(ping(pc, stub2.address()), 1);
+}
+
+TEST_F(LanRoutingFixture, LanGatewayFailureWithdrawsItsStub) {
+    wire();
+    net.run_for(sim::seconds(8));
+    ASSERT_TRUE(g2.ip().routing_table().lookup(stub1.address()).has_value());
+    g1.set_down(true);
+    net.run_for(sim::seconds(10));
+    EXPECT_FALSE(g2.ip().routing_table().lookup(stub1.address()).has_value())
+        << "stub1's prefix must expire everywhere after its gateway dies";
+    EXPECT_TRUE(g2.ip().routing_table().lookup(stub2.address()).has_value())
+        << "unrelated prefixes must survive";
+}
+
+TEST_F(LanRoutingFixture, DirectLanTrafficNeverTransitsAGateway) {
+    wire();
+    core::Host& pc2 = net.add_host("pc2");
+    // Attach after the fact to the same LAN.
+    net.attach_to_lan(pc2, 0);
+    net.install_host_default_routes();
+    net.run_for(sim::seconds(3));
+    const auto forwarded_before = g1.ip().stats().forwarded +
+                                  g2.ip().stats().forwarded +
+                                  g3.ip().stats().forwarded;
+    EXPECT_EQ(ping(pc, pc2.address()), 1);
+    const auto forwarded_after = g1.ip().stats().forwarded +
+                                 g2.ip().stats().forwarded +
+                                 g3.ip().stats().forwarded;
+    EXPECT_EQ(forwarded_before, forwarded_after)
+        << "on-link traffic uses the connected route, not a gateway";
+}
+
+}  // namespace
+}  // namespace catenet::routing

@@ -1,0 +1,91 @@
+// Precedence — the military half of goal 2: "the most important
+// [services] ... are command and control". The IP ToS byte's precedence
+// bits plus a strict-priority gateway queue must keep command traffic
+// responsive while routine traffic saturates the net.
+#include <gtest/gtest.h>
+
+#include "app/bulk.h"
+#include "app/request_response.h"
+#include "core/flow.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+#include "link/queue.h"
+
+namespace catenet {
+namespace {
+
+// Precedence levels in the ToS byte's top three bits (RFC 791):
+constexpr std::uint8_t kFlashOverride = 0b1000'0000;  // command traffic
+constexpr std::uint8_t kRoutine = 0;
+
+struct PrecedenceFixture : ::testing::Test {
+    core::Internetwork net{221};
+    core::Host& commander = net.add_host("commander");
+    core::Host& clerk = net.add_host("clerk");
+    core::Host& hq = net.add_host("hq");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    std::size_t bottleneck_link = 0;
+
+    void wire(bool precedence_queue) {
+        link::LinkParams thin = link::presets::leased_line();
+        thin.bits_per_second = 128'000;
+        thin.queue_capacity_packets = 30;
+        net.connect(commander, g1, link::presets::ethernet_hop());
+        net.connect(clerk, g1, link::presets::ethernet_hop());
+        bottleneck_link = net.connect(g1, g2, thin);
+        net.connect(g2, hq, link::presets::ethernet_hop());
+        net.use_static_routes();
+        if (precedence_queue) {
+            net.link(bottleneck_link)
+                .set_queue_a(std::make_unique<link::PriorityQueue>(
+                    2, 15, [](const link::Packet& p) -> std::uint64_t {
+                        auto key = core::classify_packet(p.bytes);
+                        // Precedence >= FLASH OVERRIDE -> level 0.
+                        return (key && (key->tos & 0b1110'0000) >= kFlashOverride) ? 0
+                                                                                   : 1;
+                    }));
+        }
+    }
+
+    double command_rpc_p99(bool precedence_queue) {
+        wire(precedence_queue);
+        // Routine saturation: the clerk bulk-uploads at full window.
+        tcp::TcpConfig routine;
+        routine.tos = kRoutine;
+        app::BulkServer files(hq, 21, routine);
+        app::BulkSender upload(clerk, hq.address(), 21, 512ull * 1024 * 1024, routine);
+        upload.start();
+
+        // Command traffic: small RPCs at FLASH OVERRIDE precedence.
+        tcp::TcpConfig command;
+        command.tos = kFlashOverride;
+        command.nagle = false;
+        app::RpcServer c2_server(hq, 111, command);
+        app::RpcClientConfig rpc;
+        rpc.tcp = command;
+        rpc.response_bytes = 64;
+        rpc.mean_interarrival = sim::milliseconds(250);
+        app::RpcClient c2(commander, hq.address(), 111, rpc);
+        c2.start();
+
+        net.run_for(sim::seconds(60));
+        c2.stop();
+        EXPECT_GT(c2.responses_received(), 100u)
+            << "precedence_queue=" << precedence_queue;
+        return c2.latencies_ms().percentile(99);
+    }
+};
+
+TEST_F(PrecedenceFixture, FifoGatewayDrownsCommandTraffic) {
+    const double p99 = command_rpc_p99(/*precedence_queue=*/false);
+    EXPECT_GT(p99, 400.0) << "behind a saturated FIFO, command RPCs queue with bulk";
+}
+
+TEST_F(PrecedenceFixture, PrecedenceQueueProtectsCommandTraffic) {
+    const double p99 = command_rpc_p99(/*precedence_queue=*/true);
+    EXPECT_LT(p99, 150.0) << "FLASH OVERRIDE must preempt routine bulk in the queue";
+}
+
+}  // namespace
+}  // namespace catenet

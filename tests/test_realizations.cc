@@ -1,0 +1,119 @@
+// Realization tests — the paper's §"Architecture and Realization": the
+// same architecture and the same applications must function over wildly
+// divergent concrete internets, with performance properties that belong
+// to the realization, not to the protocols.
+#include <gtest/gtest.h>
+
+#include "app/bulk.h"
+#include "app/voice.h"
+#include "core/realizations.h"
+#include "ip/protocols.h"
+
+namespace catenet::core {
+namespace {
+
+struct WorkloadOutcome {
+    bool transfer_completed;
+    double goodput_kbps;
+    std::uint64_t retransmits;
+    double voice_usable;
+};
+
+// The identical workload, byte for byte, on any realization.
+WorkloadOutcome run_standard_workload(Realization& r) {
+    auto& net = *r.net;
+    net.run_for(sim::seconds(20));  // routing warm-up
+
+    Host& near_host = *r.hosts[0];
+    Host& far_host = *r.hosts[2];
+
+    app::BulkServer server(far_host, 21);
+    app::BulkSender sender(near_host, far_host.address(), 21, 128 * 1024);
+    sender.start();
+
+    app::VoiceConfig vc;
+    vc.playout_delay = sim::milliseconds(800);  // generous: satellite paths
+    app::VoiceOverUdp call(*r.hosts[1], far_host, 5004, vc);
+    call.start(sim::seconds(30));
+
+    net.run_for(sim::seconds(600));
+
+    WorkloadOutcome out;
+    out.transfer_completed = sender.finished();
+    out.goodput_kbps = sender.throughput_bps() / 1000.0;
+    out.retransmits = sender.socket_stats().retransmitted_segments;
+    out.voice_usable = call.report().usable_fraction;
+    return out;
+}
+
+TEST(Realizations, MilitaryFieldCarriesTheStandardWorkload) {
+    auto r = military_field_realization(211);
+    const auto outcome = run_standard_workload(r);
+    EXPECT_TRUE(outcome.transfer_completed);
+    EXPECT_GT(outcome.retransmits, 0u) << "radio loss is the realization's nature";
+    EXPECT_GT(outcome.voice_usable, 0.5);
+}
+
+TEST(Realizations, CommercialCarriesTheStandardWorkload) {
+    auto r = commercial_realization(212);
+    const auto outcome = run_standard_workload(r);
+    EXPECT_TRUE(outcome.transfer_completed);
+    EXPECT_GT(outcome.voice_usable, 0.95);
+}
+
+TEST(Realizations, PerformanceBelongsToTheRealizationNotTheProtocols) {
+    auto field = military_field_realization(213);
+    auto office = commercial_realization(213);
+    const auto f = run_standard_workload(field);
+    const auto o = run_standard_workload(office);
+    ASSERT_TRUE(f.transfer_completed);
+    ASSERT_TRUE(o.transfer_completed);
+    EXPECT_GT(o.goodput_kbps, f.goodput_kbps * 5)
+        << "same stack, an order of magnitude apart: the realization decides";
+}
+
+TEST(Realizations, FieldRealizationSurvivesRelayLoss) {
+    auto r = military_field_realization(214);
+    auto& net = *r.net;
+    net.run_for(sim::seconds(20));
+
+    Host& unit = *r.hosts[0];
+    Host& rear = *r.hosts[2];
+    app::BulkServer server(rear, 21);
+    app::BulkSender sender(unit, rear.address(), 21, 64 * 1024);
+    sender.start();
+    net.run_for(sim::seconds(5));
+
+    // The uplink truck reboots mid-transfer (there is no alternate path:
+    // the transfer must STALL, survive, and resume — not die).
+    r.gateways[1]->set_down(true);
+    net.run_for(sim::seconds(15));
+    EXPECT_FALSE(sender.failed());
+    r.gateways[1]->set_down(false);
+    net.run_for(sim::seconds(600));
+    EXPECT_TRUE(sender.finished())
+        << "fate-sharing: the conversation outlives its only path's outage";
+}
+
+TEST(Realizations, CommercialRealizationReroutesAroundWanHub) {
+    auto r = commercial_realization(215);
+    auto& net = *r.net;
+    net.run_for(sim::seconds(45));
+
+    Host& desk = *r.hosts[0];
+    Host& server_host = *r.hosts[2];
+    app::BulkServer server(server_host, 21);
+    app::BulkSender sender(desk, server_host.address(), 21, 4ull * 1024 * 1024);
+    sender.start();
+    net.run_for(sim::seconds(2));
+
+    // Office A has a redundant direct line to the data center: losing the
+    // hub reroutes instead of stalling until restore.
+    r.gateways[3]->set_down(true);
+    net.run_for(sim::seconds(600));
+    EXPECT_TRUE(sender.finished());
+    EXPECT_EQ(server.total_bytes_received(), 4ull * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace catenet::core

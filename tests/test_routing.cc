@@ -1,0 +1,326 @@
+// Routing tests: message codecs, distance-vector convergence and failure
+// response, split horizon, EGP policy and two-tier interworking (goal 4).
+#include <gtest/gtest.h>
+
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+#include "routing/distance_vector.h"
+#include "routing/egp.h"
+#include "routing/messages.h"
+
+namespace catenet::routing {
+namespace {
+
+using util::Ipv4Address;
+using util::Ipv4Prefix;
+
+TEST(RoutingMessages, DvRoundTrip) {
+    DvMessage msg;
+    msg.entries.push_back({Ipv4Prefix::parse("10.0.1.0/24"), 3});
+    msg.entries.push_back({Ipv4Prefix::parse("10.0.2.0/24"), 16});
+    const auto wire = encode_dv(msg);
+    const auto back = decode_dv(wire);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->entries.size(), 2u);
+    EXPECT_EQ(back->entries[0].prefix.to_string(), "10.0.1.0/24");
+    EXPECT_EQ(back->entries[1].metric, 16u);
+}
+
+TEST(RoutingMessages, EgpRoundTripWithRegion) {
+    EgpMessage msg;
+    msg.region = 7;
+    msg.entries.push_back({Ipv4Prefix::parse("10.0.9.0/24"), 2});
+    const auto back = decode_egp(encode_egp(msg));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->region, 7);
+    ASSERT_EQ(back->entries.size(), 1u);
+}
+
+TEST(RoutingMessages, MalformedRejected) {
+    EXPECT_FALSE(decode_dv(util::ByteBuffer{9, 9, 9}).has_value());
+    EXPECT_FALSE(decode_egp(util::ByteBuffer{}).has_value());
+    // Bad prefix length inside an otherwise valid envelope.
+    util::BufferWriter w;
+    w.put_u8(1);
+    w.put_u8(0);
+    w.put_u16(1);
+    w.put_u32(0x0a000000);
+    w.put_u8(60);  // invalid length
+    w.put_u32(1);
+    EXPECT_FALSE(decode_dv(w.data()).has_value());
+}
+
+// --- distance vector ----------------------------------------------------
+
+struct DvChain : ::testing::Test {
+    // h1 - g1 - g2 - g3 - h2, all DV with a fast period for test speed.
+    core::Internetwork net{51};
+    core::Host& h1 = net.add_host("h1");
+    core::Host& h2 = net.add_host("h2");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    core::Gateway& g3 = net.add_gateway("g3");
+
+    routing::DvConfig fast() {
+        routing::DvConfig config;
+        config.period = sim::seconds(1);
+        config.route_timeout = sim::milliseconds(3500);
+        return config;
+    }
+
+    void wire() {
+        net.connect(h1, g1, link::presets::ethernet_hop());
+        net.connect(g1, g2, link::presets::ethernet_hop());
+        net.connect(g2, g3, link::presets::ethernet_hop());
+        net.connect(g3, h2, link::presets::ethernet_hop());
+        net.enable_dynamic_routing(fast());
+    }
+};
+
+TEST_F(DvChain, ConvergesToFullReachability) {
+    wire();
+    net.run_for(sim::seconds(10));
+    // g1 must know h2's subnet (3 hops of propagation).
+    const auto route = g1.ip().routing_table().lookup(h2.address());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->origin, "dv");
+    // h2's subnet is connected at g3 (advertised at 0): g2 learns 1, g1 learns 2.
+    EXPECT_EQ(route->metric, 2u);
+    // And traffic flows.
+    int replies = 0;
+    h1.ip().register_protocol(ip::kProtoIcmp, [&](const ip::Ipv4Header&,
+                                                  std::span<const std::uint8_t> p,
+                                                  std::size_t) {
+        auto m = ip::decode_icmp(p);
+        if (m && m->type == ip::IcmpType::EchoReply) ++replies;
+    });
+    h1.ip().ping(h2.address(), 1, 1);
+    net.run_for(sim::seconds(1));
+    EXPECT_EQ(replies, 1);
+}
+
+TEST_F(DvChain, RoutesExpireWhenNeighborDies) {
+    wire();
+    net.run_for(sim::seconds(10));
+    ASSERT_TRUE(g1.ip().routing_table().lookup(h2.address()).has_value());
+    g3.set_down(true);
+    net.run_for(sim::seconds(15));
+    EXPECT_FALSE(g1.ip().routing_table().lookup(h2.address()).has_value())
+        << "stale routes must time out after the far gateway dies";
+    EXPECT_GT(g1.distance_vector()->stats().routes_expired, 0u);
+}
+
+TEST_F(DvChain, RecoversWhenNeighborReturns) {
+    wire();
+    net.run_for(sim::seconds(10));
+    g3.set_down(true);
+    net.run_for(sim::seconds(15));
+    g3.set_down(false);
+    net.run_for(sim::seconds(10));
+    EXPECT_TRUE(g1.ip().routing_table().lookup(h2.address()).has_value())
+        << "restart must relearn everything from protocol traffic alone";
+}
+
+TEST(DvTriangle, PrefersShorterPathAndFailsOver) {
+    // g1 -- g2 directly, plus g1 -- g3 -- g2.
+    core::Internetwork net(52);
+    core::Host& h1 = net.add_host("h1");
+    core::Host& h2 = net.add_host("h2");
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    core::Gateway& g3 = net.add_gateway("g3");
+    net.connect(h1, g1, link::presets::ethernet_hop());
+    const auto direct = net.connect(g1, g2, link::presets::ethernet_hop());
+    net.connect(g1, g3, link::presets::ethernet_hop());
+    net.connect(g3, g2, link::presets::ethernet_hop());
+    net.connect(g2, h2, link::presets::ethernet_hop());
+    routing::DvConfig config;
+    config.period = sim::seconds(1);
+    config.route_timeout = sim::milliseconds(3500);
+    net.enable_dynamic_routing(config);
+    net.run_for(sim::seconds(10));
+
+    auto route = g1.ip().routing_table().lookup(h2.address());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->metric, 1u) << "h2's subnet is connected at g2: one hop from g1";
+
+    net.fail_link(direct);
+    net.run_for(sim::seconds(15));
+    route = g1.ip().routing_table().lookup(h2.address());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->metric, 2u) << "detour via g3 after the direct link dies";
+}
+
+TEST(DvPoison, SplitHorizonLimitsCountToInfinity) {
+    // Two gateways with a stub subnet behind g2; kill the stub; verify g1
+    // expires the route within a few periods rather than counting up.
+    core::Internetwork net(53);
+    core::Gateway& g1 = net.add_gateway("g1");
+    core::Gateway& g2 = net.add_gateway("g2");
+    core::Host& stub = net.add_host("stub");
+    net.connect(g1, g2, link::presets::ethernet_hop());
+    const auto stub_link = net.connect(g2, stub, link::presets::ethernet_hop());
+    routing::DvConfig config;
+    config.period = sim::seconds(1);
+    config.route_timeout = sim::milliseconds(3500);
+    net.enable_dynamic_routing(config);
+    net.run_for(sim::seconds(5));
+    ASSERT_TRUE(g1.ip().routing_table().lookup(stub.address()).has_value());
+
+    net.fail_link(stub_link);
+    net.run_for(sim::seconds(12));
+    const auto route = g1.ip().routing_table().lookup(stub.address());
+    EXPECT_FALSE(route.has_value()) << "poisoned/expired, not counting to infinity";
+}
+
+// --- EGP ----------------------------------------------------------------------
+
+struct TwoRegions : ::testing::Test {
+    // Region 1: h1 - g1a - g1b ; Region 2: g2a - h2. g1b <-> g2a is the
+    // inter-region link, spoken over EGP only.
+    core::Internetwork net{54};
+    core::Host& h1 = net.add_host("h1");
+    core::Host& h2 = net.add_host("h2");
+    core::Gateway& g1a = net.add_gateway("g1a");
+    core::Gateway& g1b = net.add_gateway("g1b");
+    core::Gateway& g2a = net.add_gateway("g2a");
+
+    routing::DvConfig fast_dv() {
+        routing::DvConfig c;
+        c.period = sim::seconds(1);
+        c.route_timeout = sim::milliseconds(3500);
+        return c;
+    }
+    routing::EgpConfig fast_egp() {
+        routing::EgpConfig c;
+        c.period = sim::seconds(2);
+        c.route_timeout = sim::seconds(7);
+        return c;
+    }
+
+    void wire(bool with_policy = false) {
+        net.connect(h1, g1a, link::presets::ethernet_hop());
+        net.connect(g1a, g1b, link::presets::ethernet_hop());
+        const auto inter = net.connect(g1b, g2a, link::presets::leased_line());
+        net.connect(g2a, h2, link::presets::ethernet_hop());
+        (void)inter;
+
+        // Interior routing per region; the inter-region interfaces are
+        // excluded from it (the management boundary).
+        g1a.enable_distance_vector(fast_dv());
+        g1b.enable_distance_vector(fast_dv()).disable_interface(1);
+        g2a.enable_distance_vector(fast_dv()).disable_interface(0);
+        net.install_host_default_routes();
+
+        auto& egp1 = g1b.enable_egp(1, fast_egp());
+        auto& egp2 = g2a.enable_egp(2, fast_egp());
+        // Peer addresses: each other's side of the inter-region link.
+        // Peer addresses are each side of the inter-region link: g2a's
+        // ifindex 0 (its first link) and g1b's ifindex 1 (its second).
+        egp1.add_peer(g2a.ip().interface_address(0));
+        egp2.add_peer(g1b.ip().interface_address(1));
+        if (with_policy) {
+            // Region 2 refuses to import h1's subnet.
+            const auto secret = util::Ipv4Prefix(
+                util::Ipv4Address(h1.address().value() & 0xffffff00u), 24);
+            egp2.set_import_policy([secret](const util::Ipv4Prefix& p, std::uint16_t) {
+                return !(p == secret);
+            });
+        }
+    }
+};
+
+TEST_F(TwoRegions, InterRegionReachabilityPropagates) {
+    wire();
+    net.run_for(sim::seconds(20));
+    // g1a (interior, region 1) must reach h2's subnet via redistribution.
+    const auto route = g1a.ip().routing_table().lookup(h2.address());
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->origin, "dv") << "interior gateways learn via redistribution";
+    const auto border = g1b.ip().routing_table().lookup(h2.address());
+    ASSERT_TRUE(border.has_value());
+    EXPECT_EQ(border->origin, "egp");
+
+    int replies = 0;
+    h1.ip().register_protocol(ip::kProtoIcmp, [&](const ip::Ipv4Header&,
+                                                  std::span<const std::uint8_t> p,
+                                                  std::size_t) {
+        auto m = ip::decode_icmp(p);
+        if (m && m->type == ip::IcmpType::EchoReply) ++replies;
+    });
+    h1.ip().ping(h2.address(), 3, 1);
+    net.run_for(sim::seconds(2));
+    EXPECT_EQ(replies, 1) << "cross-region ping must work end to end";
+}
+
+TEST_F(TwoRegions, ImportPolicyFiltersPrefixes) {
+    wire(/*with_policy=*/true);
+    net.run_for(sim::seconds(20));
+    EXPECT_FALSE(g2a.ip().routing_table().lookup(h1.address()).has_value())
+        << "policy-filtered prefix must not be imported";
+    EXPECT_GT(g2a.egp()->stats().routes_filtered, 0u);
+    // Unfiltered prefixes still flow the other way.
+    EXPECT_TRUE(g1b.ip().routing_table().lookup(h2.address()).has_value());
+}
+
+TEST_F(TwoRegions, EgpIgnoresUnconfiguredPeers) {
+    wire();
+    // A rogue host speaking EGP to g1b must be ignored.
+    net.run_for(sim::seconds(20));
+    EgpMessage rogue;
+    rogue.region = 9;
+    rogue.entries.push_back({Ipv4Prefix::parse("99.99.99.0/24"), 1});
+    h1.ip().send(ip::kProtoEgp, g1b.address(), encode_egp(rogue));
+    net.run_for(sim::seconds(2));
+    EXPECT_FALSE(
+        g1b.ip().routing_table().find(Ipv4Prefix::parse("99.99.99.0/24")).has_value())
+        << "management boundary: only configured peers are believed";
+}
+
+TEST_F(TwoRegions, ExportPolicyHidesPrefixesFromAPeer) {
+    // Region 1 refuses to EXPORT h1's subnet (an internal-only network);
+    // region 2 must never learn it even without import filtering.
+    net.connect(h1, g1a, link::presets::ethernet_hop());
+    net.connect(g1a, g1b, link::presets::ethernet_hop());
+    net.connect(g1b, g2a, link::presets::leased_line());
+    net.connect(g2a, h2, link::presets::ethernet_hop());
+    g1a.enable_distance_vector(fast_dv());
+    g1b.enable_distance_vector(fast_dv()).disable_interface(1);
+    auto& dv2 = g2a.enable_distance_vector(fast_dv());
+    dv2.disable_interface(0);
+    net.install_host_default_routes();
+
+    auto& egp1 = g1b.enable_egp(1, fast_egp());
+    auto& egp2 = g2a.enable_egp(2, fast_egp());
+    egp1.add_peer(g2a.ip().interface_address(0));
+    egp2.add_peer(g1b.ip().interface_address(1));
+    const auto secret =
+        util::Ipv4Prefix(util::Ipv4Address(h1.address().value() & 0xffffff00u), 24);
+    egp1.set_export_policy([secret](const util::Ipv4Prefix& p, std::uint16_t) {
+        return !(p == secret);
+    });
+
+    net.run_for(sim::seconds(25));
+    EXPECT_FALSE(g2a.ip().routing_table().lookup(h1.address()).has_value())
+        << "the unexported prefix must be invisible across the boundary";
+    EXPECT_TRUE(g2a.ip().routing_table().find(
+                    util::Ipv4Prefix(util::Ipv4Address(
+                                         g1a.address().value() & 0xffffff00u),
+                                     24))
+                    .has_value() ||
+                g2a.egp()->stats().updates_received > 0)
+        << "other region-1 prefixes still flow";
+}
+
+TEST_F(TwoRegions, EgpRoutesExpireWhenPeerDies) {
+    wire();
+    net.run_for(sim::seconds(20));
+    ASSERT_TRUE(g1b.ip().routing_table().lookup(h2.address()).has_value());
+    g2a.set_down(true);
+    net.run_for(sim::seconds(20));
+    EXPECT_FALSE(g1b.ip().routing_table().lookup(h2.address()).has_value());
+}
+
+}  // namespace
+}  // namespace catenet::routing

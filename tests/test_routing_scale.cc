@@ -1,0 +1,177 @@
+// Routing at scale: the historical infinity=16 diameter wall, convergence
+// on randomized topologies (property sweep), and routing-protocol traffic
+// overhead growth.
+#include <gtest/gtest.h>
+
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+
+namespace catenet::routing {
+namespace {
+
+DvConfig fast_dv(std::uint32_t infinity = 16) {
+    DvConfig c;
+    c.period = sim::seconds(1);
+    c.route_timeout = sim::milliseconds(3500);
+    c.infinity = infinity;
+    return c;
+}
+
+TEST(DvScale, HistoricalInfinity16CapsTheDiameter) {
+    // A 20-gateway chain: with infinity 16, the far end's subnet is
+    // unreachable from the near end (metric saturates); with a larger
+    // infinity the same topology converges. This is the RIP-era scaling
+    // wall that motivated richer routing, noted in E4.
+    for (const std::uint32_t infinity : {16u, 64u}) {
+        core::Internetwork net(111);
+        core::Host& near = net.add_host("near");
+        core::Host& far = net.add_host("far");
+        std::vector<core::Gateway*> gws;
+        for (int i = 0; i < 20; ++i) {
+            gws.push_back(&net.add_gateway("g" + std::to_string(i)));
+            if (i > 0) net.connect(*gws[i - 1], *gws[i], link::presets::ethernet_hop());
+        }
+        net.connect(near, *gws.front(), link::presets::ethernet_hop());
+        net.connect(far, *gws.back(), link::presets::ethernet_hop());
+        for (auto* g : gws) g->enable_distance_vector(fast_dv(infinity));
+        net.install_host_default_routes();
+        net.run_for(sim::seconds(60));
+
+        const auto route = gws.front()->ip().routing_table().lookup(far.address());
+        if (infinity == 16) {
+            EXPECT_FALSE(route.has_value()) << "metric must saturate at 16";
+        } else {
+            ASSERT_TRUE(route.has_value()) << "larger infinity must converge";
+            // far's subnet is connected at g19 and advertised at metric 0,
+            // so g0 sees it 19 advertisement hops later.
+            EXPECT_EQ(route->metric, 19u);
+        }
+    }
+}
+
+// Property: on a random connected gateway graph, DV converges to full
+// host-to-host reachability, and reachability actually works (pings).
+class RandomGraphConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphConvergence, ConvergesAndRoutes) {
+    const std::uint64_t seed = GetParam();
+    core::Internetwork net(seed);
+    util::Rng rng(seed * 31 + 7);
+
+    constexpr int kGateways = 8;
+    std::vector<core::Gateway*> gws;
+    for (int i = 0; i < kGateways; ++i) {
+        gws.push_back(&net.add_gateway("g" + std::to_string(i)));
+    }
+    // Random spanning tree (guarantees connectivity) + extra chords.
+    for (int i = 1; i < kGateways; ++i) {
+        const auto parent = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(i - 1)));
+        net.connect(*gws[parent], *gws[i], link::presets::ethernet_hop());
+    }
+    for (int c = 0; c < 4; ++c) {
+        const auto x = static_cast<int>(rng.uniform(0, kGateways - 1));
+        const auto y = static_cast<int>(rng.uniform(0, kGateways - 1));
+        if (x != y) net.connect(*gws[x], *gws[y], link::presets::ethernet_hop());
+    }
+    std::vector<core::Host*> hosts;
+    for (int i = 0; i < 3; ++i) {
+        hosts.push_back(&net.add_host("h" + std::to_string(i)));
+        const auto at = static_cast<int>(rng.uniform(0, kGateways - 1));
+        net.connect(*hosts.back(), *gws[at], link::presets::ethernet_hop());
+    }
+    for (auto* g : gws) g->enable_distance_vector(fast_dv(64));
+    net.install_host_default_routes();
+    net.run_for(sim::seconds(30));
+
+    // All-pairs ping.
+    int replies = 0;
+    int expected = 0;
+    for (auto* src : hosts) {
+        src->ip().register_protocol(
+            ip::kProtoIcmp,
+            [&replies](const ip::Ipv4Header&, std::span<const std::uint8_t> p,
+                       std::size_t) {
+                auto m = ip::decode_icmp(p);
+                if (m && m->type == ip::IcmpType::EchoReply) ++replies;
+            });
+    }
+    for (auto* src : hosts) {
+        for (auto* dst : hosts) {
+            if (src == dst) continue;
+            ASSERT_TRUE(src->ip().ping(dst->address(), 1, 1)) << "seed " << seed;
+            ++expected;
+        }
+    }
+    net.run_for(sim::seconds(5));
+    EXPECT_EQ(replies, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphConvergence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DvOverhead, UpdateTrafficScalesWithTopologySize) {
+    // Routing chatter is the standing cost of distributed management.
+    std::vector<std::uint64_t> totals;
+    for (int n : {3, 6, 12}) {
+        core::Internetwork net(112);
+        std::vector<core::Gateway*> gws;
+        for (int i = 0; i < n; ++i) {
+            gws.push_back(&net.add_gateway("g" + std::to_string(i)));
+            if (i > 0) net.connect(*gws[i - 1], *gws[i], link::presets::ethernet_hop());
+        }
+        for (auto* g : gws) g->enable_distance_vector(fast_dv(64));
+        net.run_for(sim::seconds(30));
+        std::uint64_t updates = 0;
+        for (auto* g : gws) updates += g->distance_vector()->stats().updates_sent;
+        totals.push_back(updates);
+    }
+    EXPECT_LT(totals[0], totals[1]);
+    EXPECT_LT(totals[1], totals[2]);
+}
+
+TEST(DvTriggered, BadNewsPropagatesFastOnlyWithTriggers) {
+    // Chain g3 - g1 - g2(h). When g1-g2 dies, g1 invalidates instantly
+    // (carrier loss); how fast g3 learns depends on triggered updates:
+    // with them the poison arrives in milliseconds, without them g3 waits
+    // for g1's next 10 s periodic.
+    for (const bool triggered : {true, false}) {
+        core::Internetwork net(113);
+        core::Gateway& g1 = net.add_gateway("g1");
+        core::Gateway& g2 = net.add_gateway("g2");
+        core::Gateway& g3 = net.add_gateway("g3");
+        core::Host& h = net.add_host("h");
+        net.connect(g3, g1, link::presets::ethernet_hop());
+        const auto direct = net.connect(g1, g2, link::presets::ethernet_hop());
+        net.connect(g2, h, link::presets::ethernet_hop());
+        DvConfig config;
+        config.period = sim::seconds(10);  // slow periodic
+        config.route_timeout = sim::seconds(35);
+        config.triggered_updates = triggered;
+        g1.enable_distance_vector(config);
+        g2.enable_distance_vector(config);
+        g3.enable_distance_vector(config);
+        net.run_for(sim::seconds(40));
+        ASSERT_TRUE(g3.ip().routing_table().lookup(h.address()).has_value());
+
+        net.fail_link(direct);
+        const auto before = net.sim().now();
+        double lost_at = -1;
+        for (int tick = 0; tick < 60; ++tick) {
+            net.run_for(sim::milliseconds(250));
+            if (!g3.ip().routing_table().lookup(h.address()).has_value()) {
+                lost_at = (net.sim().now() - before).seconds();
+                break;
+            }
+        }
+        ASSERT_GE(lost_at, 0.0) << "triggered=" << triggered;
+        if (triggered) {
+            EXPECT_LT(lost_at, 2.0) << "triggered poison must beat the 10 s period";
+        } else {
+            EXPECT_GT(lost_at, 4.0) << "without triggers, the period dominates";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace catenet::routing

@@ -1,0 +1,197 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// bounded runs, timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+namespace catenet::sim {
+namespace {
+
+TEST(Time, ArithmeticAndFormat) {
+    EXPECT_EQ(milliseconds(3) + microseconds(500), microseconds(3500));
+    EXPECT_EQ(seconds(1) - milliseconds(250), milliseconds(750));
+    EXPECT_EQ((seconds(2) * 3).seconds(), 6.0);
+    EXPECT_DOUBLE_EQ(seconds(1) / milliseconds(250), 4.0);
+    EXPECT_EQ(seconds(2).to_string(), "2s");
+    EXPECT_LT(milliseconds(1), seconds(1));
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+    sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+    sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(Simulator, EqualTimesFireFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(milliseconds(5), [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+    Simulator sim;
+    bool fired = false;
+    const auto id = sim.schedule_at(milliseconds(1), [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+    Simulator sim;
+    const auto id = sim.schedule_at(milliseconds(1), [] {});
+    sim.run();
+    sim.cancel(id);  // no-op
+    sim.cancel(id);
+    EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+    Simulator sim;
+    sim.schedule_at(milliseconds(10), [] {});
+    sim.run();
+    EXPECT_THROW(sim.schedule_at(milliseconds(5), [] {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.schedule_at(seconds(i), [&] { ++count; });
+    }
+    sim.run_until(seconds(5));
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), seconds(5));
+    sim.run_until(seconds(20));
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(sim.now(), seconds(20));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100) sim.schedule_after(milliseconds(1), recurse);
+    };
+    sim.schedule_after(milliseconds(1), recurse);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(sim.now(), milliseconds(100));
+}
+
+TEST(Simulator, RunWhileStopsOnPredicate) {
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 100; ++i) {
+        sim.schedule_at(milliseconds(i), [&] { ++count; });
+    }
+    sim.run_while([&] { return count < 7; });
+    EXPECT_EQ(count, 7);
+}
+
+TEST(Timer, SchedulesAndFires) {
+    Simulator sim;
+    int fires = 0;
+    Timer t(sim, [&] { ++fires; });
+    t.schedule(milliseconds(5));
+    EXPECT_TRUE(t.pending());
+    EXPECT_EQ(t.expiry(), milliseconds(5));
+    sim.run();
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleReplacesPrevious) {
+    Simulator sim;
+    int fires = 0;
+    Timer t(sim, [&] { ++fires; });
+    t.schedule(milliseconds(5));
+    t.schedule(milliseconds(50));
+    sim.run_until(milliseconds(10));
+    EXPECT_EQ(fires, 0);
+    sim.run_until(milliseconds(100));
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Timer, ScheduleIfIdleKeepsEarlierDeadline) {
+    Simulator sim;
+    int fires = 0;
+    Timer t(sim, [&] { ++fires; });
+    t.schedule(milliseconds(5));
+    t.schedule_if_idle(milliseconds(50));  // ignored: already pending
+    sim.run_until(milliseconds(10));
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Timer, DestructionCancels) {
+    Simulator sim;
+    int fires = 0;
+    {
+        Timer t(sim, [&] { ++fires; });
+        t.schedule(milliseconds(5));
+    }
+    sim.run();
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRescheduleItselfFromCallback) {
+    Simulator sim;
+    int fires = 0;
+    Timer* self = nullptr;
+    Timer t(sim, [&] {
+        if (++fires < 5) self->schedule(milliseconds(1));
+    });
+    self = &t;
+    t.schedule(milliseconds(1));
+    sim.run();
+    EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+    Simulator sim;
+    std::vector<Time> fire_times;
+    PeriodicTimer t(sim, [&] { fire_times.push_back(sim.now()); });
+    t.start(seconds(2));
+    sim.run_until(seconds(7));
+    ASSERT_EQ(fire_times.size(), 3u);
+    EXPECT_EQ(fire_times[0], seconds(2));
+    EXPECT_EQ(fire_times[2], seconds(6));
+}
+
+TEST(PeriodicTimer, StartImmediatelyFiresAtZero) {
+    Simulator sim;
+    std::vector<Time> fire_times;
+    PeriodicTimer t(sim, [&] { fire_times.push_back(sim.now()); });
+    t.start(seconds(1), /*start_immediately=*/true);
+    sim.run_until(milliseconds(2500));
+    ASSERT_EQ(fire_times.size(), 3u);
+    EXPECT_EQ(fire_times[0], Time(0));
+}
+
+TEST(PeriodicTimer, StopHalts) {
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer t(sim, [&] { ++fires; });
+    t.start(seconds(1));
+    sim.run_until(milliseconds(3500));
+    t.stop();
+    sim.run_until(seconds(10));
+    EXPECT_EQ(fires, 3);
+    EXPECT_FALSE(t.running());
+}
+
+}  // namespace
+}  // namespace catenet::sim

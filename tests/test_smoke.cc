@@ -1,0 +1,135 @@
+// End-to-end smoke tests: the whole stack (apps over TCP/UDP over IP over
+// links through gateways) on small topologies. If these pass, the unit
+// suites are testing a system that actually works end to end.
+#include <gtest/gtest.h>
+
+#include "app/bulk.h"
+#include "app/voice.h"
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+
+namespace catenet {
+namespace {
+
+using namespace core;
+
+TEST(Smoke, PingAcrossOneGateway) {
+    Internetwork net(1);
+    Host& a = net.add_host("a");
+    Host& b = net.add_host("b");
+    Gateway& g = net.add_gateway("g");
+    net.connect(a, g, link::presets::ethernet_hop());
+    net.connect(g, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    int replies = 0;
+    a.ip().register_protocol(ip::kProtoIcmp, [&](const ip::Ipv4Header&,
+                                                 std::span<const std::uint8_t> payload,
+                                                 std::size_t) {
+        auto msg = ip::decode_icmp(payload);
+        if (msg && msg->type == ip::IcmpType::EchoReply) ++replies;
+    });
+    ASSERT_TRUE(a.ip().ping(b.address(), 7, 1));
+    net.run_for(sim::seconds(1));
+    EXPECT_EQ(replies, 1);
+}
+
+TEST(Smoke, TcpBulkTransferAcrossTwoGateways) {
+    Internetwork net(2);
+    Host& a = net.add_host("a");
+    Host& b = net.add_host("b");
+    Gateway& g1 = net.add_gateway("g1");
+    Gateway& g2 = net.add_gateway("g2");
+    net.connect(a, g1, link::presets::ethernet_hop());
+    net.connect(g1, g2, link::presets::leased_line());
+    net.connect(g2, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, 200 * 1024);
+    sender.start();
+    net.run_for(sim::seconds(120));
+
+    EXPECT_TRUE(sender.finished());
+    EXPECT_EQ(server.total_bytes_received(), 200u * 1024u);
+    EXPECT_EQ(server.pattern_errors(), 0u);
+    EXPECT_EQ(server.connections_completed(), 1u);
+}
+
+TEST(Smoke, TcpSurvivesLossyRadioPath) {
+    Internetwork net(3);
+    Host& a = net.add_host("a");
+    Host& b = net.add_host("b");
+    Gateway& g = net.add_gateway("g");
+    net.connect(a, g, link::presets::packet_radio());
+    net.connect(g, b, link::presets::packet_radio());
+    net.use_static_routes();
+
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, 50 * 1024);
+    sender.start();
+    net.run_for(sim::seconds(300));
+
+    EXPECT_TRUE(sender.finished());
+    EXPECT_EQ(server.total_bytes_received(), 50u * 1024u);
+    EXPECT_EQ(server.pattern_errors(), 0u);
+    EXPECT_GT(sender.socket_stats().retransmitted_segments, 0u);
+}
+
+TEST(Smoke, VoiceOverUdpDelivers) {
+    Internetwork net(4);
+    Host& a = net.add_host("a");
+    Host& b = net.add_host("b");
+    Gateway& g = net.add_gateway("g");
+    net.connect(a, g, link::presets::ethernet_hop());
+    net.connect(g, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    app::VoiceOverUdp call(a, b, 5004);
+    call.start(sim::seconds(10));
+    net.run_for(sim::seconds(12));
+
+    const auto report = call.report();
+    EXPECT_EQ(report.frames_sent, 500u);
+    EXPECT_EQ(report.frames_lost, 0u);
+    EXPECT_GT(report.usable_fraction, 0.99);
+    EXPECT_LT(report.mean_latency_ms, 5.0);
+}
+
+TEST(Smoke, DynamicRoutingReroutesAroundGatewayFailure) {
+    // a -- g1 -- g2 -- b     with a backup path  g1 -- g3 -- g2
+    Internetwork net(5);
+    Host& a = net.add_host("a");
+    Host& b = net.add_host("b");
+    Gateway& g1 = net.add_gateway("g1");
+    Gateway& g2 = net.add_gateway("g2");
+    Gateway& g3 = net.add_gateway("g3");
+    net.connect(a, g1, link::presets::ethernet_hop());
+    const std::size_t main_link = net.connect(g1, g2, link::presets::ethernet_hop());
+    net.connect(g1, g3, link::presets::ethernet_hop());
+    net.connect(g3, g2, link::presets::ethernet_hop());
+    net.connect(g2, b, link::presets::ethernet_hop());
+    routing::DvConfig dv;
+    dv.period = sim::seconds(2);
+    dv.route_timeout = sim::seconds(7);
+    net.enable_dynamic_routing(dv);
+
+    net.run_for(sim::seconds(15));  // converge
+
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, 16 * 1024 * 1024);
+    sender.start();
+    net.run_for(sim::seconds(3));
+    EXPECT_FALSE(sender.finished());
+
+    net.fail_link(main_link);  // direct path dies mid-transfer
+    net.run_for(sim::seconds(120));
+
+    EXPECT_TRUE(sender.finished()) << "transfer should survive the reroute";
+    EXPECT_EQ(server.total_bytes_received(), 16u * 1024u * 1024u);
+    EXPECT_EQ(server.pattern_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace catenet

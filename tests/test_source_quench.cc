@@ -1,0 +1,132 @@
+// Source Quench tests: the 1988 congestion-feedback loop. A congested
+// gateway tells the source it dropped a datagram; TCP backs off to one
+// segment. (History's verdict — later deprecated as unfair and abusable —
+// is visible in the ablation bench; here we verify the mechanism.)
+#include <gtest/gtest.h>
+
+#include "app/bulk.h"
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "link/presets.h"
+
+namespace catenet {
+namespace {
+
+struct QuenchFixture : ::testing::Test {
+    core::Internetwork net{161};
+    core::Host& src = net.add_host("src");
+    core::Host& dst = net.add_host("dst");
+    core::Gateway& g = net.add_gateway("g");
+
+    void wire(std::size_t queue_packets = 8) {
+        link::LinkParams bottleneck = link::presets::leased_line();
+        bottleneck.bits_per_second = 256'000;
+        bottleneck.queue_capacity_packets = queue_packets;
+        net.connect(src, g, link::presets::ethernet_hop());
+        net.connect(g, dst, bottleneck);
+        net.use_static_routes();
+        g.enable_source_quench();
+    }
+};
+
+TEST_F(QuenchFixture, GatewayQuenchesOnQueueOverflow) {
+    wire();
+    int quenches_received = 0;
+    src.ip().add_icmp_error_handler(
+        [&](const ip::IcmpMessage& msg, util::Ipv4Address from) {
+            if (msg.type == ip::IcmpType::SourceQuench) {
+                ++quenches_received;
+                EXPECT_EQ(from, g.ip().primary_address());
+            }
+        });
+    // Blast UDP far beyond the bottleneck rate.
+    auto rx = dst.udp().bind(1000);
+    rx->set_handler([](auto, auto, auto) {});
+    auto tx = src.udp().bind_ephemeral();
+    for (int i = 0; i < 200; ++i) {
+        tx->send_to(dst.address(), 1000, util::ByteBuffer(1000, 1));
+        net.run_for(sim::milliseconds(1));
+    }
+    net.run_for(sim::seconds(2));
+    EXPECT_GT(quenches_received, 0);
+    EXPECT_GT(g.ip().stats().source_quenches_sent, 0u);
+    // Rate limiting: far fewer quenches than drops.
+    EXPECT_LT(g.ip().stats().source_quenches_sent, 100u);
+}
+
+TEST_F(QuenchFixture, TcpBacksOffWhenQuenched) {
+    wire();
+    tcp::TcpConfig cfg;
+    cfg.respect_source_quench = true;
+    app::BulkServer server(dst, 21, cfg);
+    app::BulkSender sender(src, dst.address(), 21, 4ull * 1024 * 1024, cfg);
+    sender.start();
+    net.run_for(sim::seconds(60));
+    EXPECT_GT(sender.socket_stats().source_quenches, 0u)
+        << "slow start must overrun the tiny queue and draw a quench";
+    EXPECT_GT(server.total_bytes_received(), 0u);
+}
+
+TEST_F(QuenchFixture, QuenchDisabledIsIgnored) {
+    wire();
+    tcp::TcpConfig deaf;
+    deaf.respect_source_quench = false;
+    app::BulkServer server(dst, 21, deaf);
+    app::BulkSender sender(src, dst.address(), 21, 4ull * 1024 * 1024, deaf);
+    sender.start();
+    net.run_for(sim::seconds(60));
+    EXPECT_EQ(sender.socket_stats().source_quenches, 0u);
+    EXPECT_GT(server.total_bytes_received(), 0u) << "loss recovery still works";
+}
+
+TEST_F(QuenchFixture, QuenchTargetsTheOffendingConnection) {
+    wire(6);
+    // Aggressive bulk flow vs a polite low-rate RPC-ish flow: the quench
+    // goes to whoever's datagram overflowed the queue — overwhelmingly
+    // the aggressor.
+    tcp::TcpConfig cfg;
+    app::BulkServer s1(dst, 21, cfg);
+    app::BulkSender aggressive(src, dst.address(), 21, 8ull * 1024 * 1024, cfg);
+    aggressive.start();
+
+    std::shared_ptr<tcp::TcpSocket> polite_server;
+    dst.tcp().listen(22, [&](std::shared_ptr<tcp::TcpSocket> s) {
+        polite_server = s;
+        s->on_data = [](std::span<const std::uint8_t>) {};
+    });
+    auto polite = src.tcp().connect(dst.address(), 22, cfg);
+    sim::PeriodicTimer trickle(net.sim(), [&] {
+        if (polite->connected()) {
+            polite->send(util::ByteBuffer(64, 1));
+            polite->push();
+        }
+    });
+    trickle.start(sim::milliseconds(500));
+
+    net.run_for(sim::seconds(30));
+    trickle.stop();
+    EXPECT_GT(aggressive.socket_stats().source_quenches, 0u);
+    EXPECT_GE(aggressive.socket_stats().source_quenches,
+              polite->stats().source_quenches * 2)
+        << "the congestion signal must land mostly on the cause";
+}
+
+TEST(QuenchRestraint, HostsDoNotQuenchThemselves) {
+    core::Internetwork net(162);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    link::LinkParams thin = link::presets::slow_serial();
+    net.connect(a, b, thin);
+    net.use_static_routes();
+    // Hosts never enable source quench; self-drops at a's own egress
+    // queue must not generate ICMP.
+    auto rx = b.udp().bind(1000);
+    rx->set_handler([](auto, auto, auto) {});
+    auto tx = a.udp().bind_ephemeral();
+    for (int i = 0; i < 100; ++i) tx->send_to(b.address(), 1000, util::ByteBuffer(400, 1));
+    net.run_for(sim::seconds(5));
+    EXPECT_EQ(a.ip().stats().source_quenches_sent, 0u);
+}
+
+}  // namespace
+}  // namespace catenet

@@ -1,0 +1,271 @@
+// TCP edge-case and timer-behaviour tests: RTO backoff, TIME-WAIT
+// re-acking, half-close, listener teardown, MSS property sweep over path
+// MTUs, connection storms, and the DV-era interplay of retransmission
+// with rerouting.
+#include <gtest/gtest.h>
+
+#include "app/bulk.h"
+#include "core/internetwork.h"
+#include "link/presets.h"
+#include "tcp/tcp.h"
+
+namespace catenet::tcp {
+namespace {
+
+struct TcpEdgeFixture : ::testing::Test {
+    core::Internetwork net{101};
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+
+    void wire(const link::LinkParams& params = link::presets::ethernet_hop()) {
+        net.connect(a, b, params);
+        net.use_static_routes();
+    }
+
+    std::shared_ptr<TcpSocket> server_socket;
+    util::ByteBuffer server_received;
+    void serve(std::uint16_t port, const TcpConfig& config = {}) {
+        b.tcp().listen(
+            port,
+            [this](std::shared_ptr<TcpSocket> s) {
+                server_socket = s;
+                s->on_data = [this](std::span<const std::uint8_t> d) {
+                    server_received.insert(server_received.end(), d.begin(), d.end());
+                };
+            },
+            config);
+    }
+};
+
+TEST_F(TcpEdgeFixture, RtoBacksOffExponentially) {
+    wire();
+    serve(80);
+    TcpConfig cfg;
+    cfg.initial_rto = sim::milliseconds(100);
+    cfg.max_retries = 20;
+    auto client = a.tcp().connect(b.address(), 80, cfg);
+    client->on_connected = [&] {
+        client->send(util::ByteBuffer(500, 1));
+        net.link(0).set_up(false);
+    };
+    net.run_for(sim::seconds(1));
+    const auto timeouts_1s = client->stats().timeouts;
+    net.run_for(sim::seconds(9));
+    const auto timeouts_10s = client->stats().timeouts;
+    // Exponential backoff: most of the timeouts happen early; the count
+    // over 10 s is far below 10s/initial_rto = 100.
+    EXPECT_GE(timeouts_1s, 2u);
+    EXPECT_LE(timeouts_10s, 10u);
+    EXPECT_GT(client->stats().rto_ms, 1000.0);
+}
+
+TEST_F(TcpEdgeFixture, TimeWaitReAcksRetransmittedFin) {
+    wire();
+    serve(80);
+    TcpConfig cfg;
+    cfg.msl = sim::seconds(5);
+    auto client = a.tcp().connect(b.address(), 80, cfg);
+    client->on_connected = [&] { client->close(); };
+    net.run_for(sim::seconds(2));
+    // Client should be in TIME-WAIT (its FIN acked, server's FIN arrived
+    // after the server's close? — server never closed; so client is in
+    // FIN-WAIT-2). Close the server half now.
+    ASSERT_EQ(client->state(), TcpState::FinWait2);
+    server_socket->close();
+    net.run_for(sim::seconds(1));
+    EXPECT_EQ(client->state(), TcpState::TimeWait);
+    // After 2*MSL the socket evaporates.
+    net.run_for(sim::seconds(11));
+    EXPECT_EQ(a.tcp().connection_count(), 0u);
+    EXPECT_EQ(b.tcp().connection_count(), 0u);
+}
+
+TEST_F(TcpEdgeFixture, HalfCloseAllowsServerToKeepSending) {
+    wire();
+    serve(80);
+    util::ByteBuffer client_received;
+    auto client = a.tcp().connect(b.address(), 80);
+    client->on_data = [&](std::span<const std::uint8_t> d) {
+        client_received.insert(client_received.end(), d.begin(), d.end());
+    };
+    client->on_connected = [&] {
+        client->send(util::buffer_from_string("request"));
+        client->close();  // half-close: we are done talking
+    };
+    net.run_for(sim::seconds(1));
+    ASSERT_TRUE(server_socket);
+    EXPECT_EQ(server_socket->state(), TcpState::CloseWait);
+    // Server responds into the half-open connection, then closes.
+    server_socket->send(util::ByteBuffer(10000, 0x5c));
+    server_socket->close();
+    net.run_for(sim::seconds(5));
+    EXPECT_EQ(client_received.size(), 10000u)
+        << "data must flow toward the closer after its FIN";
+    EXPECT_EQ(util::string_from_buffer(server_received), "request");
+}
+
+TEST_F(TcpEdgeFixture, StopListeningRefusesNewConnections) {
+    wire();
+    serve(80);
+    b.tcp().stop_listening(80);
+    auto client = a.tcp().connect(b.address(), 80);
+    bool reset = false;
+    client->on_reset = [&] { reset = true; };
+    net.run_for(sim::seconds(2));
+    EXPECT_TRUE(reset);
+}
+
+TEST_F(TcpEdgeFixture, ConnectionSurvivesRerouteMidTransfer) {
+    // Topology with two disjoint paths; DV flips routes under the
+    // connection while data is in flight.
+    core::Internetwork net2(102);
+    core::Host& src = net2.add_host("src");
+    core::Host& dst = net2.add_host("dst");
+    core::Gateway& g1 = net2.add_gateway("g1");
+    core::Gateway& g2 = net2.add_gateway("g2");
+    core::Gateway& g3 = net2.add_gateway("g3");
+    net2.connect(src, g1, link::presets::ethernet_hop());
+    const auto fast_path = net2.connect(g1, g2, link::presets::ethernet_hop());
+    net2.connect(g1, g3, link::presets::leased_line());  // slow detour
+    net2.connect(g3, g2, link::presets::leased_line());
+    net2.connect(g2, dst, link::presets::ethernet_hop());
+    routing::DvConfig dv;
+    dv.period = sim::seconds(1);
+    dv.route_timeout = sim::milliseconds(3500);
+    net2.enable_dynamic_routing(dv);
+    net2.run_for(sim::seconds(8));
+
+    app::BulkServer server(dst, 21);
+    app::BulkSender sender(src, dst.address(), 21, 4ull * 1024 * 1024);
+    sender.start();
+    net2.run_for(sim::seconds(1));
+    net2.fail_link(fast_path);
+    net2.run_for(sim::seconds(30));
+    net2.restore_link(fast_path);  // flap back
+    net2.run_for(sim::seconds(600));
+    EXPECT_TRUE(sender.finished());
+    EXPECT_EQ(server.total_bytes_received(), 4ull * 1024 * 1024);
+    EXPECT_EQ(server.pattern_errors(), 0u)
+        << "reordering across the reroute must be hidden by sequencing";
+}
+
+TEST_F(TcpEdgeFixture, ManySimultaneousConnections) {
+    wire();
+    int completed = 0;
+    std::vector<std::shared_ptr<TcpSocket>> held;
+    b.tcp().listen(80, [&](std::shared_ptr<TcpSocket> s) {
+        held.push_back(s);
+        s->on_data = [](std::span<const std::uint8_t>) {};
+        s->on_remote_close = [raw = s.get()] { raw->close(); };
+    });
+    std::vector<std::shared_ptr<TcpSocket>> clients;
+    constexpr int kConns = 50;
+    for (int i = 0; i < kConns; ++i) {
+        auto c = a.tcp().connect(b.address(), 80);
+        c->on_connected = [raw = c.get()] {
+            raw->send(util::ByteBuffer(1000, 7));
+            raw->close();
+        };
+        c->on_remote_close = [&completed] { ++completed; };
+        clients.push_back(std::move(c));
+    }
+    net.run_for(sim::seconds(30));
+    EXPECT_EQ(completed, kConns);
+    EXPECT_EQ(b.tcp().stats().connections_accepted, static_cast<std::uint64_t>(kConns));
+}
+
+TEST_F(TcpEdgeFixture, DelayedAckTimerFiresForLoneSegment) {
+    // One small segment with no follow-up: the delayed-ACK timer (200 ms)
+    // must eventually ack it rather than waiting forever.
+    link::LinkParams params = link::presets::ethernet_hop();
+    params.propagation_delay = sim::milliseconds(1);
+    wire(params);
+    serve(80);
+    auto client = a.tcp().connect(b.address(), 80);
+    client->on_connected = [&] { client->send(util::ByteBuffer(100, 9)); };
+    net.run_for(sim::milliseconds(120));
+    // Not yet acked (timer pending): the segment is still in flight state.
+    const auto rexmits_before = client->stats().retransmitted_segments;
+    net.run_for(sim::milliseconds(400));
+    // Acked via the delayed timer: no retransmission was needed.
+    EXPECT_EQ(client->stats().retransmitted_segments, rexmits_before);
+    EXPECT_EQ(server_received.size(), 100u);
+    client->send(util::ByteBuffer(100, 9));
+    net.run_for(sim::seconds(1));
+    EXPECT_EQ(server_received.size(), 200u);
+}
+
+TEST_F(TcpEdgeFixture, SimultaneousCloseReachesClosedOnBothSides) {
+    wire();
+    TcpConfig cfg;
+    cfg.msl = sim::seconds(2);  // both sides: TIME-WAIT must expire in-test
+    serve(80, cfg);
+    auto client = a.tcp().connect(b.address(), 80, cfg);
+    client->on_connected = [&] {
+        // Close both ends in the same instant: FINs cross in flight.
+        client->close();
+        server_socket->close();
+    };
+    net.run_for(sim::seconds(10));
+    EXPECT_EQ(a.tcp().connection_count(), 0u);
+    EXPECT_EQ(b.tcp().connection_count(), 0u);
+}
+
+// MSS/MTU property: no direct-path fragmentation for any link MTU, and
+// the transfer always completes exactly.
+class MssProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MssProperty, NoFragmentationAndExactDelivery) {
+    core::Internetwork net(103);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    link::LinkParams params = link::presets::ethernet_hop();
+    params.mtu = GetParam();
+    net.connect(a, b, params);
+    net.use_static_routes();
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, 100 * 1024);
+    sender.start();
+    net.run_for(sim::seconds(120));
+    EXPECT_TRUE(sender.finished()) << "mtu=" << GetParam();
+    EXPECT_EQ(server.total_bytes_received(), 100u * 1024u);
+    EXPECT_EQ(server.pattern_errors(), 0u);
+    EXPECT_EQ(a.ip().stats().fragments_created, 0u)
+        << "negotiated MSS must fit mtu=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(MtuSweep, MssProperty,
+                         ::testing::Values(128, 256, 296, 576, 1006, 1500, 4096));
+
+// Zero-window persistence property over different receiver stall lengths.
+class PersistProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PersistProperty, TransferResumesAfterReceiverStall) {
+    core::Internetwork net(104);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    net.connect(a, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+    std::shared_ptr<TcpSocket> server;
+    std::size_t received = 0;
+    b.tcp().listen(80, [&](std::shared_ptr<TcpSocket> s) {
+        server = s;
+        s->on_data = [&](std::span<const std::uint8_t> d) { received += d.size(); };
+    });
+    auto client = a.tcp().connect(b.address(), 80);
+    client->on_connected = [&] {
+        server->set_receive_open(false);
+        client->send(util::ByteBuffer(8 * 1024, 0x3f));
+    };
+    net.run_for(sim::from_seconds(GetParam()));
+    const auto stalled_at = received;
+    server->set_receive_open(true);
+    net.run_for(sim::seconds(30));
+    EXPECT_LE(stalled_at, received);
+    EXPECT_EQ(received, 8u * 1024u) << "stall of " << GetParam() << "s";
+}
+
+INSTANTIATE_TEST_SUITE_P(StallLengths, PersistProperty, ::testing::Values(1, 3, 10, 30));
+
+}  // namespace
+}  // namespace catenet::tcp

@@ -1,0 +1,184 @@
+// Flow-control tests in manual-receive mode: the real RFC 793 window
+// dance. The receiving application paces consumption with read(); the
+// advertised window shrinks as data queues, closes when the buffer fills,
+// and reopens via silly-window-avoided updates.
+#include <gtest/gtest.h>
+
+#include "core/internetwork.h"
+#include "link/presets.h"
+#include "tcp/tcp.h"
+
+namespace catenet::tcp {
+namespace {
+
+struct FlowFixture : ::testing::Test {
+    core::Internetwork net{151};
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    std::shared_ptr<TcpSocket> server;
+
+    void wire_and_listen(std::size_t server_recv_buffer = 8 * 1024) {
+        net.connect(a, b, link::presets::ethernet_hop());
+        net.use_static_routes();
+        TcpConfig cfg;
+        cfg.recv_buffer = server_recv_buffer;
+        b.tcp().listen(
+            80,
+            [this](std::shared_ptr<TcpSocket> s) {
+                server = s;
+                s->set_manual_receive(true);
+            },
+            cfg);
+    }
+};
+
+TEST_F(FlowFixture, SenderStallsWhenReceiverStopsReading) {
+    wire_and_listen(8 * 1024);
+    auto client = a.tcp().connect(b.address(), 80);
+    std::size_t accepted = 0;
+    client->on_connected = [&] { accepted = client->send(util::ByteBuffer(64 * 1024, 1)); };
+    net.run_for(sim::seconds(10));
+    // The receiver never reads: at most recv_buffer bytes can be queued.
+    ASSERT_TRUE(server);
+    EXPECT_LE(server->bytes_available(), 8u * 1024u);
+    EXPECT_GE(server->bytes_available(), 6u * 1024u)
+        << "the window should let roughly a buffer's worth through";
+}
+
+TEST_F(FlowFixture, ReadingReopensTheWindow) {
+    wire_and_listen(8 * 1024);
+    auto client = a.tcp().connect(b.address(), 80);
+    constexpr std::size_t kTotal = 64 * 1024;
+    std::size_t queued = 0;
+    auto pump = [&] {
+        util::ByteBuffer chunk(4096, 2);
+        while (queued < kTotal) {
+            const std::size_t want = std::min(chunk.size(), kTotal - queued);
+            const auto took =
+                client->send(std::span<const std::uint8_t>(chunk.data(), want));
+            queued += took;
+            if (took < want) break;
+        }
+    };
+    client->on_connected = pump;
+    client->on_send_space = pump;
+
+    // The application drains 1 KiB every 50 ms — slower than the network.
+    std::size_t consumed = 0;
+    sim::PeriodicTimer reader(net.sim(), [&] {
+        std::uint8_t buf[1024];
+        consumed += server ? server->read(buf) : 0;
+        if (client && queued < kTotal) pump();
+    });
+    reader.start(sim::milliseconds(50));
+    net.run_for(sim::seconds(10));
+    reader.stop();
+    // Drain what's left.
+    while (server && server->bytes_available() > 0) {
+        std::uint8_t buf[4096];
+        consumed += server->read(buf);
+        net.run_for(sim::milliseconds(100));
+    }
+    net.run_for(sim::seconds(5));
+    while (server && server->bytes_available() > 0) {
+        std::uint8_t buf[4096];
+        consumed += server->read(buf);
+        net.run_for(sim::milliseconds(100));
+    }
+    EXPECT_EQ(queued, kTotal);
+    EXPECT_EQ(consumed, kTotal) << "every byte must eventually pass the window";
+}
+
+TEST_F(FlowFixture, ThroughputIsPacedByTheReader) {
+    wire_and_listen(8 * 1024);
+    auto client = a.tcp().connect(b.address(), 80);
+    std::size_t queued = 0;
+    auto pump = [&] {
+        util::ByteBuffer chunk(4096, 3);
+        for (;;) {
+            const auto took = client->send(chunk);
+            queued += took;
+            if (took < chunk.size()) break;
+        }
+    };
+    client->on_connected = pump;
+    client->on_send_space = pump;
+
+    // Reader consumes exactly 2 KiB per 100 ms = ~20 KiB/s.
+    std::size_t consumed = 0;
+    sim::PeriodicTimer reader(net.sim(), [&] {
+        std::uint8_t buf[2048];
+        if (server) consumed += server->read(buf);
+    });
+    reader.start(sim::milliseconds(100));
+    net.run_for(sim::seconds(20));
+    reader.stop();
+    const double rate = static_cast<double>(consumed) / 20.0;
+    EXPECT_NEAR(rate, 20480.0, 4096.0)
+        << "end-to-end rate must track the application's consumption rate";
+    // And the sender was held back accordingly (not megabytes ahead):
+    // at most one send buffer + one receive buffer of slack.
+    EXPECT_LE(queued, consumed + 64 * 1024 + 8 * 1024);
+}
+
+TEST_F(FlowFixture, SillyWindowUpdatesAreSuppressed) {
+    wire_and_listen(8 * 1024);
+    auto client = a.tcp().connect(b.address(), 80);
+    client->on_connected = [&] { client->send(util::ByteBuffer(32 * 1024, 4)); };
+    net.run_for(sim::seconds(3));
+    ASSERT_TRUE(server);
+    // Window is now pinched. Tiny 16-byte reads must not each produce a
+    // window-update ACK (receiver-side SWS avoidance).
+    const auto acks_before = b.ip().stats().datagrams_sent;
+    for (int i = 0; i < 64; ++i) {
+        std::uint8_t buf[16];
+        server->read(buf);
+        net.run_for(sim::milliseconds(5));
+    }
+    const auto acks_after = b.ip().stats().datagrams_sent;
+    EXPECT_LT(acks_after - acks_before, 16u)
+        << "64 dribble reads must coalesce into few window updates";
+}
+
+TEST_F(FlowFixture, ManualModeDeliversExactBytes) {
+    wire_and_listen(4 * 1024);
+    auto client = a.tcp().connect(b.address(), 80);
+    constexpr std::size_t kTotal = 20000;
+    std::size_t queued = 0;
+    auto pump = [&] {
+        while (queued < kTotal) {
+            util::ByteBuffer chunk(997);  // awkward size on purpose
+            for (std::size_t i = 0; i < chunk.size(); ++i) {
+                chunk[i] = static_cast<std::uint8_t>((queued + i) % 251);
+            }
+            const std::size_t want = std::min<std::size_t>(chunk.size(), kTotal - queued);
+            const auto took =
+                client->send(std::span<const std::uint8_t>(chunk.data(), want));
+            queued += took;
+            if (took < want) break;
+        }
+    };
+    client->on_connected = pump;
+    client->on_send_space = pump;
+
+    util::ByteBuffer received;
+    sim::PeriodicTimer reader(net.sim(), [&] {
+        std::uint8_t buf[512];
+        while (server) {
+            const auto n = server->read(buf);
+            if (n == 0) break;
+            received.insert(received.end(), buf, buf + n);
+        }
+        pump();
+    });
+    reader.start(sim::milliseconds(20));
+    net.run_for(sim::seconds(60));
+    reader.stop();
+    ASSERT_EQ(received.size(), kTotal);
+    for (std::size_t i = 0; i < kTotal; ++i) {
+        ASSERT_EQ(received[i], static_cast<std::uint8_t>(i % 251)) << "offset " << i;
+    }
+}
+
+}  // namespace
+}  // namespace catenet::tcp

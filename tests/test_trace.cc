@@ -1,0 +1,102 @@
+// Packet-trace tests: the tcpdump-style hook reports the right events in
+// the right order with faithful header detail.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/internetwork.h"
+#include "ip/protocols.h"
+#include "ip/trace.h"
+#include "link/presets.h"
+
+namespace catenet::ip {
+namespace {
+
+TEST(ProtocolName, KnownAndUnknown) {
+    EXPECT_EQ(protocol_name(kProtoTcp), "TCP");
+    EXPECT_EQ(protocol_name(kProtoUdp), "UDP");
+    EXPECT_EQ(protocol_name(kProtoIcmp), "ICMP");
+    EXPECT_EQ(protocol_name(kProtoEgp), "EGP");
+    EXPECT_EQ(protocol_name(200), "200");
+}
+
+struct TraceFixture : ::testing::Test {
+    core::Internetwork net{191};
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    core::Gateway& g = net.add_gateway("g");
+
+    void wire() {
+        net.connect(a, g, link::presets::ethernet_hop());
+        net.connect(g, b, link::presets::ethernet_hop());
+        net.use_static_routes();
+    }
+};
+
+TEST_F(TraceFixture, GatewaySeesRxAndFwd) {
+    wire();
+    std::vector<std::string> events;
+    g.ip().set_trace([&](const char* event, const Ipv4Header& h, std::size_t bytes) {
+        events.push_back(std::string(event) + " " + protocol_name(h.protocol) + " " +
+                         std::to_string(bytes));
+    });
+    b.ip().register_protocol(200, [](auto&, auto, auto) {});
+    a.ip().send(200, b.address(), util::ByteBuffer(100, 1));
+    net.run_for(sim::seconds(1));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0], "rx 200 120");
+    EXPECT_EQ(events[1], "fwd 200 120");
+}
+
+TEST_F(TraceFixture, EndpointsSeeTxAndDeliver) {
+    wire();
+    std::vector<std::string> a_events, b_events;
+    a.ip().set_trace([&](const char* e, const Ipv4Header&, std::size_t) {
+        a_events.push_back(e);
+    });
+    b.ip().set_trace([&](const char* e, const Ipv4Header&, std::size_t) {
+        b_events.push_back(e);
+    });
+    b.ip().register_protocol(200, [](auto&, auto, auto) {});
+    a.ip().send(200, b.address(), util::ByteBuffer(10, 1));
+    net.run_for(sim::seconds(1));
+    ASSERT_GE(a_events.size(), 1u);
+    EXPECT_EQ(a_events[0], "tx");
+    ASSERT_GE(b_events.size(), 2u);
+    EXPECT_EQ(b_events[0], "rx");
+    EXPECT_EQ(b_events[1], "deliver");
+}
+
+TEST_F(TraceFixture, TtlDropIsTraced) {
+    wire();
+    bool saw_drop = false;
+    g.ip().set_trace([&](const char* e, const Ipv4Header&, std::size_t) {
+        if (std::string(e) == "drop") saw_drop = true;
+    });
+    ip::SendOptions opts;
+    opts.ttl = 1;
+    a.ip().send(200, b.address(), util::ByteBuffer(10, 1), opts);
+    net.run_for(sim::seconds(1));
+    EXPECT_TRUE(saw_drop);
+}
+
+TEST_F(TraceFixture, TextTracerFormatsReadably) {
+    wire();
+    std::ostringstream os;
+    g.ip().set_trace(make_text_tracer(os, "gw", net.sim()));
+    b.ip().register_protocol(200, [](auto&, auto, auto) {});
+    ip::SendOptions opts;
+    opts.tos = 0x10;
+    a.ip().send(200, b.address(), util::ByteBuffer(2000, 1), opts);  // fragments
+    net.run_for(sim::seconds(1));
+    const std::string out = os.str();
+    EXPECT_NE(out.find("gw"), std::string::npos);
+    EXPECT_NE(out.find("fwd"), std::string::npos);
+    EXPECT_NE(out.find(" > "), std::string::npos);
+    EXPECT_NE(out.find("tos=0x10"), std::string::npos);
+    EXPECT_NE(out.find("frag="), std::string::npos) << out;
+    EXPECT_NE(out.find("ttl=63"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace catenet::ip

@@ -1,0 +1,286 @@
+// Unit tests for the utility layer: wire codecs, checksums, addresses,
+// statistics, deterministic randomness.
+#include <gtest/gtest.h>
+
+#include "util/byte_buffer.h"
+#include "util/checksum.h"
+#include "util/ip_address.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace catenet::util {
+namespace {
+
+TEST(BufferWriter, WritesBigEndian) {
+    BufferWriter w;
+    w.put_u8(0x01);
+    w.put_u16(0x0203);
+    w.put_u32(0x04050607);
+    w.put_u64(0x08090a0b0c0d0e0full);
+    const auto buf = w.take();
+    const std::uint8_t expected[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,
+                                     0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+    ASSERT_EQ(buf.size(), sizeof(expected));
+    EXPECT_TRUE(std::equal(buf.begin(), buf.end(), expected));
+}
+
+TEST(BufferWriter, PatchU16OverwritesInPlace) {
+    BufferWriter w;
+    w.put_u32(0);
+    w.patch_u16(1, 0xbeef);
+    EXPECT_EQ(w.data()[1], 0xbe);
+    EXPECT_EQ(w.data()[2], 0xef);
+}
+
+TEST(BufferWriter, PatchPastEndThrows) {
+    BufferWriter w;
+    w.put_u16(0);
+    EXPECT_THROW(w.patch_u16(1, 0), std::out_of_range);
+}
+
+TEST(BufferReader, RoundTripsWriterOutput) {
+    BufferWriter w;
+    w.put_u16(0xabcd);
+    w.put_u32(0x12345678);
+    w.put_u8(0x7f);
+    const auto buf = w.take();
+    BufferReader r(buf);
+    EXPECT_EQ(r.get_u16(), 0xabcd);
+    EXPECT_EQ(r.get_u32(), 0x12345678u);
+    EXPECT_EQ(r.get_u8(), 0x7f);
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(BufferReader, ThrowsOnTruncation) {
+    const std::uint8_t data[] = {1, 2, 3};
+    BufferReader r(data);
+    EXPECT_EQ(r.get_u16(), 0x0102);
+    EXPECT_THROW(r.get_u16(), DecodeError);
+}
+
+TEST(BufferReader, SkipAndRemaining) {
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    BufferReader r(data);
+    r.skip(2);
+    EXPECT_EQ(r.remaining_size(), 3u);
+    EXPECT_EQ(r.get_bytes(2).size(), 2u);
+    EXPECT_EQ(r.remaining()[0], 5);
+}
+
+TEST(BufferString, RoundTrip) {
+    const auto buf = buffer_from_string("hello catenet");
+    EXPECT_EQ(string_from_buffer(buf), "hello catenet");
+}
+
+// --- checksum ---------------------------------------------------------
+
+TEST(Checksum, Rfc1071WorkedExample) {
+    // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2 -> checksum 0x220d
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+    const std::uint8_t odd[] = {0x12, 0x34, 0x56};
+    const std::uint8_t even[] = {0x12, 0x34, 0x56, 0x00};
+    EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, ValidBufferSumsToZero) {
+    BufferWriter w;
+    w.put_u32(0xdeadbeef);
+    w.put_u16(0);  // checksum slot
+    w.put_u32(0x01020304);
+    auto buf = w.take();
+    const auto sum = internet_checksum(buf);
+    buf[4] = static_cast<std::uint8_t>(sum >> 8);
+    buf[5] = static_cast<std::uint8_t>(sum & 0xff);
+    EXPECT_TRUE(checksum_valid(buf));
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+    Rng rng(42);
+    int detected = 0;
+    constexpr int kTrials = 200;
+    for (int t = 0; t < kTrials; ++t) {
+        ByteBuffer buf(64);
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        buf[6] = buf[7] = 0;
+        const auto sum = internet_checksum(buf);
+        buf[6] = static_cast<std::uint8_t>(sum >> 8);
+        buf[7] = static_cast<std::uint8_t>(sum & 0xff);
+        ASSERT_TRUE(checksum_valid(buf));
+        const auto bit = rng.uniform(0, buf.size() * 8 - 1);
+        buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        if (!checksum_valid(buf)) ++detected;
+    }
+    // One's-complement checksum detects all single-bit errors.
+    EXPECT_EQ(detected, kTrials);
+}
+
+// Property: checksum of (buffer + its checksum) folds to zero for random
+// buffers of every parity and size.
+class ChecksumProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChecksumProperty, AppendedChecksumValidates) {
+    Rng rng(GetParam() * 977 + 13);
+    ByteBuffer buf(GetParam());
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    const auto sum = internet_checksum(buf);
+    // Append checksum as a trailing 16-bit word (even-size buffers only —
+    // odd sizes pad, which moves the word boundary).
+    if (buf.size() % 2 == 0) {
+        buf.push_back(static_cast<std::uint8_t>(sum >> 8));
+        buf.push_back(static_cast<std::uint8_t>(sum & 0xff));
+        EXPECT_TRUE(checksum_valid(buf));
+    } else {
+        EXPECT_NE(internet_checksum(buf), 0xffff);  // still well-defined
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChecksumProperty,
+                         ::testing::Values(0, 1, 2, 3, 8, 9, 20, 21, 64, 127, 128, 255,
+                                           256, 575, 576, 1499, 1500));
+
+TEST(TransportChecksum, CoversPseudoHeader) {
+    const Ipv4Address src(10, 0, 0, 1);
+    const Ipv4Address dst(10, 0, 0, 2);
+    const std::uint8_t seg[] = {1, 2, 3, 4};
+    const auto a = transport_checksum(src, dst, 6, seg);
+    const auto b = transport_checksum(src, Ipv4Address(10, 0, 0, 3), 6, seg);
+    const auto c = transport_checksum(src, dst, 17, seg);
+    EXPECT_NE(a, b) << "destination address must affect the checksum";
+    EXPECT_NE(a, c) << "protocol must affect the checksum";
+}
+
+// --- addresses ---------------------------------------------------------
+
+TEST(Ipv4Address, ParsesAndFormats) {
+    const auto addr = Ipv4Address::parse("192.168.1.200");
+    EXPECT_EQ(addr, Ipv4Address(192, 168, 1, 200));
+    EXPECT_EQ(addr.to_string(), "192.168.1.200");
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+    EXPECT_THROW(Ipv4Address::parse(""), std::invalid_argument);
+    EXPECT_THROW(Ipv4Address::parse("1.2.3"), std::invalid_argument);
+    EXPECT_THROW(Ipv4Address::parse("1.2.3.4.5"), std::invalid_argument);
+    EXPECT_THROW(Ipv4Address::parse("256.0.0.1"), std::invalid_argument);
+    EXPECT_THROW(Ipv4Address::parse("1.2.3.x"), std::invalid_argument);
+    EXPECT_THROW(Ipv4Address::parse("-1.2.3.4"), std::invalid_argument);
+}
+
+TEST(Ipv4Prefix, MaskAndContains) {
+    const auto p = Ipv4Prefix::parse("10.1.2.0/24");
+    EXPECT_EQ(p.mask(), 0xffffff00u);
+    EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 2, 77)));
+    EXPECT_FALSE(p.contains(Ipv4Address(10, 1, 3, 77)));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+    const Ipv4Prefix p(Ipv4Address(10, 1, 2, 77), 24);
+    EXPECT_EQ(p.address(), Ipv4Address(10, 1, 2, 0));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+    const Ipv4Prefix def(Ipv4Address(0), 0);
+    EXPECT_TRUE(def.contains(Ipv4Address(255, 255, 255, 255)));
+    EXPECT_TRUE(def.contains(Ipv4Address(0)));
+}
+
+TEST(Ipv4Prefix, RejectsBadLength) {
+    EXPECT_THROW(Ipv4Prefix(Ipv4Address(0), 33), std::invalid_argument);
+    EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0/40"), std::invalid_argument);
+    EXPECT_THROW(Ipv4Prefix::parse("10.0.0.0"), std::invalid_argument);
+}
+
+// --- stats -------------------------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentiles, ExactQuartiles) {
+    Percentiles p;
+    for (int i = 1; i <= 101; ++i) p.add(i);
+    EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 51.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 101.0);
+    EXPECT_DOUBLE_EQ(p.percentile(25), 26.0);
+}
+
+TEST(Percentiles, InterleavedAddAndQuery) {
+    Percentiles p;
+    p.add(10);
+    EXPECT_DOUBLE_EQ(p.median(), 10.0);
+    p.add(20);
+    p.add(30);
+    EXPECT_DOUBLE_EQ(p.median(), 20.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+// --- rng ----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+    }
+}
+
+TEST(Rng, ForkIndependence) {
+    Rng parent(7);
+    Rng child = parent.fork();
+    // The child stream must not replay the parent stream.
+    bool differs = false;
+    Rng parent2(7);
+    Rng child2 = parent2.fork();
+    for (int i = 0; i < 10; ++i) {
+        if (child.uniform(0, 1u << 30) != child2.uniform(0, 1u << 30)) differs = true;
+    }
+    EXPECT_FALSE(differs) << "same-seed forks must match";
+}
+
+TEST(Rng, ChanceBoundaries) {
+    Rng rng(1);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+    Rng rng(99);
+    double sum = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / kSamples, 5.0, 0.15);
+}
+
+}  // namespace
+}  // namespace catenet::util

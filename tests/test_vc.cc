@@ -1,0 +1,270 @@
+// Virtual-circuit baseline tests: frame codec, per-link ARQ, call setup
+// and data transfer through switches, and the architecture's defining
+// weakness — calls die with the switches that carry them.
+#include <gtest/gtest.h>
+
+#include "link/presets.h"
+#include "vc/frame.h"
+#include "vc/link_arq.h"
+#include "vc/network.h"
+
+namespace catenet::vc {
+namespace {
+
+TEST(VcFrameCodec, CallRequestRoundTrip) {
+    const auto f = VcFrame::call_request(42, 7, 3);
+    const auto back = decode_frame(encode_frame(f));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->type, VcFrameType::CallRequest);
+    EXPECT_EQ(back->vci, 42);
+    EXPECT_EQ(back->requested_dst(), 7);
+    EXPECT_EQ(back->requested_src(), 3);
+}
+
+TEST(VcFrameCodec, DataAndClearRoundTrip) {
+    const util::ByteBuffer payload{1, 2, 3};
+    auto back = decode_frame(encode_frame(VcFrame::data(9, payload)));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->type, VcFrameType::Data);
+    EXPECT_EQ(back->body, payload);
+
+    back = decode_frame(encode_frame(VcFrame::call_clear(9, kClearLinkFailure)));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->clear_cause(), kClearLinkFailure);
+}
+
+TEST(VcFrameCodec, RejectsUnknownType) {
+    EXPECT_FALSE(decode_frame(util::ByteBuffer{0, 0, 0}).has_value());
+    EXPECT_FALSE(decode_frame(util::ByteBuffer{99, 0, 1}).has_value());
+    EXPECT_FALSE(decode_frame(util::ByteBuffer{}).has_value());
+}
+
+// --- link ARQ -------------------------------------------------------------
+
+struct ArqLinkFixture : ::testing::Test {
+    sim::Simulator sim;
+    util::Rng rng{61};
+};
+
+TEST_F(ArqLinkFixture, ReliableInOrderOverLossyLink) {
+    link::LinkParams params = link::presets::ethernet_hop();
+    params.drop_probability = 0.2;
+    link::PointToPointLink link(sim, rng, params);
+    LinkArqConfig config;
+    config.rto = sim::milliseconds(50);
+    config.max_retries = 100;
+    LinkArq left(sim, link.port_a(), config);
+    LinkArq right(sim, link.port_b(), config);
+
+    std::vector<int> received;
+    right.set_deliver([&](util::ByteBuffer frame) { received.push_back(frame.at(0)); });
+    for (int i = 0; i < 100; ++i) {
+        left.send(util::ByteBuffer{static_cast<std::uint8_t>(i)});
+    }
+    sim.run_until(sim::seconds(60));
+    ASSERT_EQ(received.size(), 100u);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(received[i], i);
+    EXPECT_GT(left.stats().frames_retransmitted, 0u);
+}
+
+TEST_F(ArqLinkFixture, DeclaresLinkDeadAfterRetries) {
+    link::PointToPointLink link(sim, rng, link::presets::ethernet_hop());
+    LinkArqConfig config;
+    config.rto = sim::milliseconds(50);
+    config.max_retries = 3;
+    LinkArq left(sim, link.port_a(), config);
+    LinkArq right(sim, link.port_b(), config);
+    right.set_deliver([](util::ByteBuffer) {});
+
+    bool failed = false;
+    left.set_on_link_failed([&] { failed = true; });
+    link.set_up(false);  // peer unreachable
+    left.send(util::ByteBuffer{1});
+    sim.run_until(sim::seconds(10));
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(ArqLinkFixture, FullDuplexSimultaneousTraffic) {
+    link::PointToPointLink link(sim, rng, link::presets::ethernet_hop());
+    LinkArq left(sim, link.port_a());
+    LinkArq right(sim, link.port_b());
+    int to_right = 0, to_left = 0;
+    right.set_deliver([&](util::ByteBuffer) { ++to_right; });
+    left.set_deliver([&](util::ByteBuffer) { ++to_left; });
+    for (int i = 0; i < 20; ++i) {
+        left.send(util::ByteBuffer{1});
+        right.send(util::ByteBuffer{2});
+    }
+    sim.run_until(sim::seconds(10));
+    EXPECT_EQ(to_right, 20);
+    EXPECT_EQ(to_left, 20);
+}
+
+// --- network-level behaviour --------------------------------------------------
+
+struct VcNetFixture : ::testing::Test {
+    sim::Simulator sim;
+    VcNetwork net{sim, 62};
+
+    // h1 - s1 - s2 - s3 - h2
+    std::size_t s1 = net.add_switch("s1");
+    std::size_t s2 = net.add_switch("s2");
+    std::size_t s3 = net.add_switch("s3");
+    std::size_t h1 = net.add_host(1, "h1");
+    std::size_t h2 = net.add_host(2, "h2");
+
+    void wire() {
+        net.connect_switches(s1, s2, link::presets::leased_line());
+        net.connect_switches(s2, s3, link::presets::leased_line());
+        net.connect_host(h1, s1, link::presets::leased_line());
+        net.connect_host(h2, s3, link::presets::leased_line());
+        net.compute_routes();
+    }
+};
+
+TEST_F(VcNetFixture, CallSetupAcceptAndData) {
+    wire();
+    bool accepted = false;
+    util::ByteBuffer received;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&received](std::span<const std::uint8_t> d) {
+            received.insert(received.end(), d.begin(), d.end());
+        };
+    });
+    auto call = net.host_at(h1).place_call(2);
+    call->on_accepted = [&] {
+        accepted = true;
+        call->send(util::buffer_from_string("through the circuit"));
+    };
+    sim.run_until(sim::seconds(30));
+    EXPECT_TRUE(accepted);
+    EXPECT_EQ(util::string_from_buffer(received), "through the circuit");
+    EXPECT_EQ(net.switch_at(s2).active_circuits(), 1u)
+        << "the call's state lives inside every switch on the path";
+}
+
+TEST_F(VcNetFixture, LargeTransferIsChunkedAndOrdered) {
+    wire();
+    util::ByteBuffer received;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&received](std::span<const std::uint8_t> d) {
+            received.insert(received.end(), d.begin(), d.end());
+        };
+    });
+    util::ByteBuffer data(5000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint8_t>(i % 251);
+    }
+    auto call = net.host_at(h1).place_call(2);
+    call->on_accepted = [&] { call->send(data); };
+    sim.run_until(sim::seconds(120));
+    EXPECT_EQ(received, data);
+}
+
+TEST_F(VcNetFixture, ClearTearsDownCircuitStateEverywhere) {
+    wire();
+    std::shared_ptr<VcCall> callee;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> c) { callee = c; });
+    auto call = net.host_at(h1).place_call(2);
+    bool cleared_remote = false;
+    sim.run_until(sim::seconds(10));
+    ASSERT_TRUE(callee);
+    callee->on_cleared = [&](std::uint8_t) { cleared_remote = true; };
+    ASSERT_EQ(net.switch_at(s2).active_circuits(), 1u);
+    call->clear();
+    sim.run_until(sim::seconds(20));
+    EXPECT_TRUE(cleared_remote);
+    EXPECT_EQ(net.switch_at(s1).active_circuits(), 0u);
+    EXPECT_EQ(net.switch_at(s2).active_circuits(), 0u);
+    EXPECT_EQ(net.switch_at(s3).active_circuits(), 0u);
+}
+
+TEST_F(VcNetFixture, CallToUnroutableAddressRefused) {
+    wire();
+    auto call = net.host_at(h1).place_call(99);
+    std::uint8_t cause = 0xff;
+    call->on_cleared = [&](std::uint8_t c) { cause = c; };
+    sim.run_until(sim::seconds(10));
+    EXPECT_EQ(call->state(), CallState::Cleared);
+    EXPECT_EQ(cause, kClearNoRoute);
+}
+
+TEST_F(VcNetFixture, SwitchCrashKillsCallsThroughIt) {
+    wire();
+    util::ByteBuffer received;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&received](std::span<const std::uint8_t> d) {
+            received.insert(received.end(), d.begin(), d.end());
+        };
+    });
+    auto call = net.host_at(h1).place_call(2);
+    bool cleared = false;
+    std::uint8_t cause = 0xff;
+    call->on_cleared = [&](std::uint8_t c) {
+        cleared = true;
+        cause = c;
+    };
+    call->on_accepted = [&] { call->send(util::ByteBuffer(2000, 0x11)); };
+    sim.run_until(sim::seconds(15));
+    ASSERT_EQ(call->state(), CallState::Connected);
+
+    net.fail_switch(s2);  // mid-path switch dies; its circuit table is gone
+    // Keep talking: the stalled hop-by-hop ARQ at s1 is what detects the
+    // death and clears the call (X.25 had no end-to-end liveness).
+    for (int i = 0; i < 20 && !cleared; ++i) {
+        call->send(util::ByteBuffer(100, 0x33));
+        sim.run_until(sim.now() + sim::seconds(5));
+    }
+    EXPECT_TRUE(cleared) << "the defining VC failure mode: calls die with switches";
+    EXPECT_TRUE(cause == kClearLinkFailure || cause == kClearUnknownCircuit)
+        << "cause=" << int(cause);
+}
+
+TEST_F(VcNetFixture, RestartedSwitchRefusesOrphanCircuits) {
+    wire();
+    auto call = net.host_at(h1).place_call(2);
+    bool cleared = false;
+    call->on_accepted = [&] {};
+    call->on_cleared = [&](std::uint8_t) { cleared = true; };
+    sim.run_until(sim::seconds(15));
+    ASSERT_EQ(call->state(), CallState::Connected);
+
+    // Crash and immediately restore: the table is empty afterwards; the
+    // first data frame on the old circuit draws a clear.
+    net.fail_switch(s2);
+    sim.run_until(sim.now() + sim::milliseconds(100));
+    net.restore_switch(s2);
+    call->send(util::ByteBuffer(100, 0x22));
+    sim.run_until(sim.now() + sim::seconds(60));
+    EXPECT_TRUE(cleared);
+    EXPECT_EQ(net.switch_at(s2).active_circuits(), 0u);
+}
+
+TEST_F(VcNetFixture, NewCallSucceedsAfterSwitchRestart) {
+    wire();
+    net.host_at(h2).set_incoming_handler([](std::shared_ptr<VcCall>) {});
+    net.fail_switch(s2);
+    sim.run_until(sim.now() + sim::seconds(1));
+    net.restore_switch(s2);
+
+    auto call = net.host_at(h1).place_call(2);
+    bool accepted = false;
+    call->on_accepted = [&] { accepted = true; };
+    sim.run_until(sim.now() + sim::seconds(30));
+    EXPECT_TRUE(accepted) << "a restarted switch serves new calls normally";
+}
+
+TEST_F(VcNetFixture, StateBytesGrowWithCalls) {
+    wire();
+    net.host_at(h2).set_incoming_handler([](std::shared_ptr<VcCall>) {});
+    const auto before = net.switch_at(s2).state_bytes();
+    std::vector<std::shared_ptr<VcCall>> calls;
+    for (int i = 0; i < 10; ++i) calls.push_back(net.host_at(h1).place_call(2));
+    sim.run_until(sim::seconds(30));
+    EXPECT_EQ(net.switch_at(s2).active_circuits(), 10u);
+    EXPECT_GT(net.switch_at(s2).state_bytes(), before)
+        << "per-call switch memory is the replication cost the paper rejects";
+}
+
+}  // namespace
+}  // namespace catenet::vc

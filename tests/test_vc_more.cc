@@ -1,0 +1,168 @@
+// Additional virtual-circuit coverage: concurrent calls, VCI management,
+// bidirectional data, hosts on the same switch, failure-cause fidelity,
+// and a property sweep of transfer sizes over lossy circuits.
+#include <gtest/gtest.h>
+
+#include "link/presets.h"
+#include "vc/network.h"
+
+namespace catenet::vc {
+namespace {
+
+struct VcMoreFixture : ::testing::Test {
+    sim::Simulator sim;
+    VcNetwork net{sim, 121};
+    std::size_t s1 = net.add_switch("s1");
+    std::size_t s2 = net.add_switch("s2");
+    std::size_t h1 = net.add_host(1, "h1");
+    std::size_t h2 = net.add_host(2, "h2");
+    std::size_t h3 = net.add_host(3, "h3");
+
+    void wire() {
+        net.connect_switches(s1, s2, link::presets::ethernet_hop());
+        net.connect_host(h1, s1, link::presets::ethernet_hop());
+        net.connect_host(h2, s2, link::presets::ethernet_hop());
+        net.connect_host(h3, s1, link::presets::ethernet_hop());  // same switch as h1
+        net.compute_routes();
+    }
+};
+
+TEST_F(VcMoreFixture, ManyConcurrentCallsGetDistinctCircuits) {
+    wire();
+    int received = 0;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&received](std::span<const std::uint8_t>) { ++received; };
+    });
+    std::vector<std::shared_ptr<VcCall>> calls;
+    constexpr int kCalls = 20;
+    for (int i = 0; i < kCalls; ++i) {
+        auto call = net.host_at(h1).place_call(2);
+        call->on_accepted = [raw = call.get()] {
+            raw->send(util::ByteBuffer(10, 0x61));
+        };
+        calls.push_back(std::move(call));
+    }
+    sim.run_until(sim::seconds(30));
+    EXPECT_EQ(received, kCalls);
+    EXPECT_EQ(net.switch_at(s1).active_circuits(), static_cast<std::size_t>(kCalls));
+    EXPECT_EQ(net.host_at(h1).active_calls(), static_cast<std::size_t>(kCalls));
+}
+
+TEST_F(VcMoreFixture, BidirectionalDataOnOneCall) {
+    wire();
+    util::ByteBuffer at_h2, at_h1;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&, raw = call.get()](std::span<const std::uint8_t> d) {
+            at_h2.insert(at_h2.end(), d.begin(), d.end());
+            raw->send(util::buffer_from_string("pong"));
+        };
+    });
+    auto call = net.host_at(h1).place_call(2);
+    call->on_data = [&](std::span<const std::uint8_t> d) {
+        at_h1.insert(at_h1.end(), d.begin(), d.end());
+    };
+    call->on_accepted = [&] { call->send(util::buffer_from_string("ping")); };
+    sim.run_until(sim::seconds(10));
+    EXPECT_EQ(util::string_from_buffer(at_h2), "ping");
+    EXPECT_EQ(util::string_from_buffer(at_h1), "pong");
+}
+
+TEST_F(VcMoreFixture, SameSwitchHosts) {
+    wire();
+    util::ByteBuffer got;
+    net.host_at(h3).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&](std::span<const std::uint8_t> d) {
+            got.insert(got.end(), d.begin(), d.end());
+        };
+    });
+    auto call = net.host_at(h1).place_call(3);
+    call->on_accepted = [&] { call->send(util::buffer_from_string("local")); };
+    sim.run_until(sim::seconds(10));
+    EXPECT_EQ(util::string_from_buffer(got), "local");
+    EXPECT_EQ(net.switch_at(s2).active_circuits(), 0u)
+        << "a same-switch call must not touch the far switch";
+}
+
+TEST_F(VcMoreFixture, CalleeCanRejectByClearing) {
+    wire();
+    net.host_at(h2).set_incoming_handler([](std::shared_ptr<VcCall> call) {
+        call->clear(kClearByUser);  // refuse service
+    });
+    auto call = net.host_at(h1).place_call(2);
+    std::uint8_t cause = 0xff;
+    bool cleared = false;
+    call->on_cleared = [&](std::uint8_t c) {
+        cleared = true;
+        cause = c;
+    };
+    sim.run_until(sim::seconds(10));
+    EXPECT_TRUE(cleared);
+    EXPECT_EQ(cause, kClearByUser);
+    EXPECT_EQ(net.switch_at(s1).active_circuits(), 0u);
+}
+
+TEST_F(VcMoreFixture, DataAfterClearIsRefused) {
+    wire();
+    net.host_at(h2).set_incoming_handler([](std::shared_ptr<VcCall>) {});
+    auto call = net.host_at(h1).place_call(2);
+    sim.run_until(sim::seconds(5));
+    ASSERT_EQ(call->state(), CallState::Connected);
+    call->clear();
+    sim.run_until(sim::seconds(5));
+    EXPECT_FALSE(call->send(util::ByteBuffer(10, 1)));
+}
+
+// Property: circuits deliver exact byte streams across sizes and loss
+// rates (hop-by-hop ARQ doing the reliability work).
+struct VcTransferParam {
+    std::size_t bytes;
+    double loss;
+};
+
+class VcTransferProperty : public ::testing::TestWithParam<VcTransferParam> {};
+
+TEST_P(VcTransferProperty, ExactDelivery) {
+    sim::Simulator sim;
+    VcNetwork net(sim, 314);
+    const auto s1 = net.add_switch("s1");
+    const auto s2 = net.add_switch("s2");
+    const auto h1 = net.add_host(1, "h1");
+    const auto h2 = net.add_host(2, "h2");
+    link::LinkParams params = link::presets::ethernet_hop();
+    params.drop_probability = GetParam().loss;
+    LinkArqConfig arq;
+    arq.rto = sim::milliseconds(100);
+    arq.max_retries = 1000;
+    VcHostConfig hc;
+    hc.arq = arq;
+    // Rebuild with lossy params on the inter-switch link only.
+    net.connect_switches(s1, s2, params);
+    net.connect_host(h1, s1, link::presets::ethernet_hop());
+    net.connect_host(h2, s2, link::presets::ethernet_hop());
+    net.compute_routes();
+
+    util::ByteBuffer sent(GetParam().bytes);
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+        sent[i] = static_cast<std::uint8_t>(i * 17 + 3);
+    }
+    util::ByteBuffer got;
+    net.host_at(h2).set_incoming_handler([&](std::shared_ptr<VcCall> call) {
+        call->on_data = [&](std::span<const std::uint8_t> d) {
+            got.insert(got.end(), d.begin(), d.end());
+        };
+    });
+    auto call = net.host_at(h1).place_call(2);
+    call->on_accepted = [&] { call->send(sent); };
+    sim.run_until(sim::seconds(600));
+    EXPECT_EQ(got, sent) << "bytes=" << GetParam().bytes << " loss=" << GetParam().loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VcTransferProperty,
+    ::testing::Values(VcTransferParam{1, 0.0}, VcTransferParam{127, 0.0},
+                      VcTransferParam{128, 0.0}, VcTransferParam{129, 0.0},
+                      VcTransferParam{10000, 0.0}, VcTransferParam{10000, 0.05},
+                      VcTransferParam{5000, 0.15}, VcTransferParam{1000, 0.30}));
+
+}  // namespace
+}  // namespace catenet::vc

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_flows_soft_state.dir/bench/bench_e10_flows_soft_state.cc.o"
+  "CMakeFiles/bench_e10_flows_soft_state.dir/bench/bench_e10_flows_soft_state.cc.o.d"
+  "bench/bench_e10_flows_soft_state"
+  "bench/bench_e10_flows_soft_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_flows_soft_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_survivability.dir/bench/bench_e1_survivability.cc.o"
+  "CMakeFiles/bench_e1_survivability.dir/bench/bench_e1_survivability.cc.o.d"
+  "bench/bench_e1_survivability"
+  "bench/bench_e1_survivability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_survivability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

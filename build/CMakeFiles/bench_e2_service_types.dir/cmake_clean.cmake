@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_service_types.dir/bench/bench_e2_service_types.cc.o"
+  "CMakeFiles/bench_e2_service_types.dir/bench/bench_e2_service_types.cc.o.d"
+  "bench/bench_e2_service_types"
+  "bench/bench_e2_service_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_service_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_network_variety.dir/bench/bench_e3_network_variety.cc.o"
+  "CMakeFiles/bench_e3_network_variety.dir/bench/bench_e3_network_variety.cc.o.d"
+  "bench/bench_e3_network_variety"
+  "bench/bench_e3_network_variety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_network_variety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

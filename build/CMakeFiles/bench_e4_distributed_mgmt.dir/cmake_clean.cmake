@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_distributed_mgmt.dir/bench/bench_e4_distributed_mgmt.cc.o"
+  "CMakeFiles/bench_e4_distributed_mgmt.dir/bench/bench_e4_distributed_mgmt.cc.o.d"
+  "bench/bench_e4_distributed_mgmt"
+  "bench/bench_e4_distributed_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_distributed_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

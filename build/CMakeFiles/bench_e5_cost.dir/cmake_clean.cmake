@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_cost.dir/bench/bench_e5_cost.cc.o"
+  "CMakeFiles/bench_e5_cost.dir/bench/bench_e5_cost.cc.o.d"
+  "bench/bench_e5_cost"
+  "bench/bench_e5_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_host_burden.dir/bench/bench_e6_host_burden.cc.o"
+  "CMakeFiles/bench_e6_host_burden.dir/bench/bench_e6_host_burden.cc.o.d"
+  "bench/bench_e6_host_burden"
+  "bench/bench_e6_host_burden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_host_burden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

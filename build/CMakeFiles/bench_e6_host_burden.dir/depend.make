@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e6_host_burden.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_accounting.dir/bench/bench_e7_accounting.cc.o"
+  "CMakeFiles/bench_e7_accounting.dir/bench/bench_e7_accounting.cc.o.d"
+  "bench/bench_e7_accounting"
+  "bench/bench_e7_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

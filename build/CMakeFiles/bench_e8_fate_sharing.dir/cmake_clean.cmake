@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_fate_sharing.dir/bench/bench_e8_fate_sharing.cc.o"
+  "CMakeFiles/bench_e8_fate_sharing.dir/bench/bench_e8_fate_sharing.cc.o.d"
+  "bench/bench_e8_fate_sharing"
+  "bench/bench_e8_fate_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_fate_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_byte_sequencing.dir/bench/bench_e9_byte_sequencing.cc.o"
+  "CMakeFiles/bench_e9_byte_sequencing.dir/bench/bench_e9_byte_sequencing.cc.o.d"
+  "bench/bench_e9_byte_sequencing"
+  "bench/bench_e9_byte_sequencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_byte_sequencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

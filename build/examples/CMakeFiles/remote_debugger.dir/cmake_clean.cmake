@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_debugger.dir/remote_debugger.cpp.o"
+  "CMakeFiles/remote_debugger.dir/remote_debugger.cpp.o.d"
+  "remote_debugger"
+  "remote_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survivable_net.dir/survivable_net.cpp.o"
+  "CMakeFiles/survivable_net.dir/survivable_net.cpp.o.d"
+  "survivable_net"
+  "survivable_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survivable_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_chat.dir/voice_chat.cpp.o"
+  "CMakeFiles/voice_chat.dir/voice_chat.cpp.o.d"
+  "voice_chat"
+  "voice_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

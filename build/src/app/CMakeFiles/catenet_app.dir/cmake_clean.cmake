@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_app.dir/bulk.cc.o"
+  "CMakeFiles/catenet_app.dir/bulk.cc.o.d"
+  "CMakeFiles/catenet_app.dir/interactive.cc.o"
+  "CMakeFiles/catenet_app.dir/interactive.cc.o.d"
+  "CMakeFiles/catenet_app.dir/request_response.cc.o"
+  "CMakeFiles/catenet_app.dir/request_response.cc.o.d"
+  "CMakeFiles/catenet_app.dir/scenario.cc.o"
+  "CMakeFiles/catenet_app.dir/scenario.cc.o.d"
+  "CMakeFiles/catenet_app.dir/traceroute.cc.o"
+  "CMakeFiles/catenet_app.dir/traceroute.cc.o.d"
+  "CMakeFiles/catenet_app.dir/voice.cc.o"
+  "CMakeFiles/catenet_app.dir/voice.cc.o.d"
+  "CMakeFiles/catenet_app.dir/xnet.cc.o"
+  "CMakeFiles/catenet_app.dir/xnet.cc.o.d"
+  "libcatenet_app.a"
+  "libcatenet_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_core.dir/flow.cc.o"
+  "CMakeFiles/catenet_core.dir/flow.cc.o.d"
+  "CMakeFiles/catenet_core.dir/internetwork.cc.o"
+  "CMakeFiles/catenet_core.dir/internetwork.cc.o.d"
+  "CMakeFiles/catenet_core.dir/node.cc.o"
+  "CMakeFiles/catenet_core.dir/node.cc.o.d"
+  "CMakeFiles/catenet_core.dir/realizations.cc.o"
+  "CMakeFiles/catenet_core.dir/realizations.cc.o.d"
+  "libcatenet_core.a"
+  "libcatenet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/icmp.cc" "src/ip/CMakeFiles/catenet_ip.dir/icmp.cc.o" "gcc" "src/ip/CMakeFiles/catenet_ip.dir/icmp.cc.o.d"
+  "/root/repo/src/ip/ip_stack.cc" "src/ip/CMakeFiles/catenet_ip.dir/ip_stack.cc.o" "gcc" "src/ip/CMakeFiles/catenet_ip.dir/ip_stack.cc.o.d"
+  "/root/repo/src/ip/ipv4_header.cc" "src/ip/CMakeFiles/catenet_ip.dir/ipv4_header.cc.o" "gcc" "src/ip/CMakeFiles/catenet_ip.dir/ipv4_header.cc.o.d"
+  "/root/repo/src/ip/reassembly.cc" "src/ip/CMakeFiles/catenet_ip.dir/reassembly.cc.o" "gcc" "src/ip/CMakeFiles/catenet_ip.dir/reassembly.cc.o.d"
+  "/root/repo/src/ip/routing_table.cc" "src/ip/CMakeFiles/catenet_ip.dir/routing_table.cc.o" "gcc" "src/ip/CMakeFiles/catenet_ip.dir/routing_table.cc.o.d"
+  "/root/repo/src/ip/trace.cc" "src/ip/CMakeFiles/catenet_ip.dir/trace.cc.o" "gcc" "src/ip/CMakeFiles/catenet_ip.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/catenet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/catenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/catenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

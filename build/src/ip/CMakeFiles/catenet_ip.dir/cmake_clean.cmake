@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_ip.dir/icmp.cc.o"
+  "CMakeFiles/catenet_ip.dir/icmp.cc.o.d"
+  "CMakeFiles/catenet_ip.dir/ip_stack.cc.o"
+  "CMakeFiles/catenet_ip.dir/ip_stack.cc.o.d"
+  "CMakeFiles/catenet_ip.dir/ipv4_header.cc.o"
+  "CMakeFiles/catenet_ip.dir/ipv4_header.cc.o.d"
+  "CMakeFiles/catenet_ip.dir/reassembly.cc.o"
+  "CMakeFiles/catenet_ip.dir/reassembly.cc.o.d"
+  "CMakeFiles/catenet_ip.dir/routing_table.cc.o"
+  "CMakeFiles/catenet_ip.dir/routing_table.cc.o.d"
+  "CMakeFiles/catenet_ip.dir/trace.cc.o"
+  "CMakeFiles/catenet_ip.dir/trace.cc.o.d"
+  "libcatenet_ip.a"
+  "libcatenet_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

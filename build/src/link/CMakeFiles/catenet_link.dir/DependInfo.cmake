@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/lan.cc" "src/link/CMakeFiles/catenet_link.dir/lan.cc.o" "gcc" "src/link/CMakeFiles/catenet_link.dir/lan.cc.o.d"
+  "/root/repo/src/link/netif.cc" "src/link/CMakeFiles/catenet_link.dir/netif.cc.o" "gcc" "src/link/CMakeFiles/catenet_link.dir/netif.cc.o.d"
+  "/root/repo/src/link/point_to_point.cc" "src/link/CMakeFiles/catenet_link.dir/point_to_point.cc.o" "gcc" "src/link/CMakeFiles/catenet_link.dir/point_to_point.cc.o.d"
+  "/root/repo/src/link/presets.cc" "src/link/CMakeFiles/catenet_link.dir/presets.cc.o" "gcc" "src/link/CMakeFiles/catenet_link.dir/presets.cc.o.d"
+  "/root/repo/src/link/queue.cc" "src/link/CMakeFiles/catenet_link.dir/queue.cc.o" "gcc" "src/link/CMakeFiles/catenet_link.dir/queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/catenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/catenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_link.dir/lan.cc.o"
+  "CMakeFiles/catenet_link.dir/lan.cc.o.d"
+  "CMakeFiles/catenet_link.dir/netif.cc.o"
+  "CMakeFiles/catenet_link.dir/netif.cc.o.d"
+  "CMakeFiles/catenet_link.dir/point_to_point.cc.o"
+  "CMakeFiles/catenet_link.dir/point_to_point.cc.o.d"
+  "CMakeFiles/catenet_link.dir/presets.cc.o"
+  "CMakeFiles/catenet_link.dir/presets.cc.o.d"
+  "CMakeFiles/catenet_link.dir/queue.cc.o"
+  "CMakeFiles/catenet_link.dir/queue.cc.o.d"
+  "libcatenet_link.a"
+  "libcatenet_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

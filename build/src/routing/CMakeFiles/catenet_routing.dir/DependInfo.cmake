@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/distance_vector.cc" "src/routing/CMakeFiles/catenet_routing.dir/distance_vector.cc.o" "gcc" "src/routing/CMakeFiles/catenet_routing.dir/distance_vector.cc.o.d"
+  "/root/repo/src/routing/egp.cc" "src/routing/CMakeFiles/catenet_routing.dir/egp.cc.o" "gcc" "src/routing/CMakeFiles/catenet_routing.dir/egp.cc.o.d"
+  "/root/repo/src/routing/messages.cc" "src/routing/CMakeFiles/catenet_routing.dir/messages.cc.o" "gcc" "src/routing/CMakeFiles/catenet_routing.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/catenet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/catenet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/catenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/catenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_routing.dir/distance_vector.cc.o"
+  "CMakeFiles/catenet_routing.dir/distance_vector.cc.o.d"
+  "CMakeFiles/catenet_routing.dir/egp.cc.o"
+  "CMakeFiles/catenet_routing.dir/egp.cc.o.d"
+  "CMakeFiles/catenet_routing.dir/messages.cc.o"
+  "CMakeFiles/catenet_routing.dir/messages.cc.o.d"
+  "libcatenet_routing.a"
+  "libcatenet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

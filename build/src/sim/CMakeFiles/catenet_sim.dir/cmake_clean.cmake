@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_sim.dir/simulator.cc.o"
+  "CMakeFiles/catenet_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/catenet_sim.dir/timer.cc.o"
+  "CMakeFiles/catenet_sim.dir/timer.cc.o.d"
+  "libcatenet_sim.a"
+  "libcatenet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

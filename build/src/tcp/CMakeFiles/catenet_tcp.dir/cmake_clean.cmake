@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_tcp.dir/simple_arq.cc.o"
+  "CMakeFiles/catenet_tcp.dir/simple_arq.cc.o.d"
+  "CMakeFiles/catenet_tcp.dir/tcp.cc.o"
+  "CMakeFiles/catenet_tcp.dir/tcp.cc.o.d"
+  "CMakeFiles/catenet_tcp.dir/tcp_header.cc.o"
+  "CMakeFiles/catenet_tcp.dir/tcp_header.cc.o.d"
+  "libcatenet_tcp.a"
+  "libcatenet_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_udp.dir/udp.cc.o"
+  "CMakeFiles/catenet_udp.dir/udp.cc.o.d"
+  "libcatenet_udp.a"
+  "libcatenet_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

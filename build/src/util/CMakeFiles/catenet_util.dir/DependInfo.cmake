@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cc" "src/util/CMakeFiles/catenet_util.dir/byte_buffer.cc.o" "gcc" "src/util/CMakeFiles/catenet_util.dir/byte_buffer.cc.o.d"
+  "/root/repo/src/util/checksum.cc" "src/util/CMakeFiles/catenet_util.dir/checksum.cc.o" "gcc" "src/util/CMakeFiles/catenet_util.dir/checksum.cc.o.d"
+  "/root/repo/src/util/ip_address.cc" "src/util/CMakeFiles/catenet_util.dir/ip_address.cc.o" "gcc" "src/util/CMakeFiles/catenet_util.dir/ip_address.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/catenet_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/catenet_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/catenet_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/catenet_util.dir/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/catenet_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/catenet_util.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

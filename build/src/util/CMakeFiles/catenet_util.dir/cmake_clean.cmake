@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_util.dir/byte_buffer.cc.o"
+  "CMakeFiles/catenet_util.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/catenet_util.dir/checksum.cc.o"
+  "CMakeFiles/catenet_util.dir/checksum.cc.o.d"
+  "CMakeFiles/catenet_util.dir/ip_address.cc.o"
+  "CMakeFiles/catenet_util.dir/ip_address.cc.o.d"
+  "CMakeFiles/catenet_util.dir/logging.cc.o"
+  "CMakeFiles/catenet_util.dir/logging.cc.o.d"
+  "CMakeFiles/catenet_util.dir/random.cc.o"
+  "CMakeFiles/catenet_util.dir/random.cc.o.d"
+  "CMakeFiles/catenet_util.dir/stats.cc.o"
+  "CMakeFiles/catenet_util.dir/stats.cc.o.d"
+  "libcatenet_util.a"
+  "libcatenet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vc/frame.cc" "src/vc/CMakeFiles/catenet_vc.dir/frame.cc.o" "gcc" "src/vc/CMakeFiles/catenet_vc.dir/frame.cc.o.d"
+  "/root/repo/src/vc/host.cc" "src/vc/CMakeFiles/catenet_vc.dir/host.cc.o" "gcc" "src/vc/CMakeFiles/catenet_vc.dir/host.cc.o.d"
+  "/root/repo/src/vc/link_arq.cc" "src/vc/CMakeFiles/catenet_vc.dir/link_arq.cc.o" "gcc" "src/vc/CMakeFiles/catenet_vc.dir/link_arq.cc.o.d"
+  "/root/repo/src/vc/network.cc" "src/vc/CMakeFiles/catenet_vc.dir/network.cc.o" "gcc" "src/vc/CMakeFiles/catenet_vc.dir/network.cc.o.d"
+  "/root/repo/src/vc/switch.cc" "src/vc/CMakeFiles/catenet_vc.dir/switch.cc.o" "gcc" "src/vc/CMakeFiles/catenet_vc.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/catenet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/catenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/catenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

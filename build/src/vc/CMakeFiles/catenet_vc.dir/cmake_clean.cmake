@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catenet_vc.dir/frame.cc.o"
+  "CMakeFiles/catenet_vc.dir/frame.cc.o.d"
+  "CMakeFiles/catenet_vc.dir/host.cc.o"
+  "CMakeFiles/catenet_vc.dir/host.cc.o.d"
+  "CMakeFiles/catenet_vc.dir/link_arq.cc.o"
+  "CMakeFiles/catenet_vc.dir/link_arq.cc.o.d"
+  "CMakeFiles/catenet_vc.dir/network.cc.o"
+  "CMakeFiles/catenet_vc.dir/network.cc.o.d"
+  "CMakeFiles/catenet_vc.dir/switch.cc.o"
+  "CMakeFiles/catenet_vc.dir/switch.cc.o.d"
+  "libcatenet_vc.a"
+  "libcatenet_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catenet_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcatenet_vc.a"
+)

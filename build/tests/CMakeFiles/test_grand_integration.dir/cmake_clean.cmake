@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grand_integration.dir/test_grand_integration.cc.o"
+  "CMakeFiles/test_grand_integration.dir/test_grand_integration.cc.o.d"
+  "test_grand_integration"
+  "test_grand_integration.pdb"
+  "test_grand_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grand_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_edge.dir/test_ip_edge.cc.o"
+  "CMakeFiles/test_ip_edge.dir/test_ip_edge.cc.o.d"
+  "test_ip_edge"
+  "test_ip_edge.pdb"
+  "test_ip_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lan_routing.dir/test_lan_routing.cc.o"
+  "CMakeFiles/test_lan_routing.dir/test_lan_routing.cc.o.d"
+  "test_lan_routing"
+  "test_lan_routing.pdb"
+  "test_lan_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lan_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

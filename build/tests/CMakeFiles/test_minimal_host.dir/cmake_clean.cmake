@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimal_host.dir/test_minimal_host.cc.o"
+  "CMakeFiles/test_minimal_host.dir/test_minimal_host.cc.o.d"
+  "test_minimal_host"
+  "test_minimal_host.pdb"
+  "test_minimal_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimal_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precedence.dir/test_precedence.cc.o"
+  "CMakeFiles/test_precedence.dir/test_precedence.cc.o.d"
+  "test_precedence"
+  "test_precedence.pdb"
+  "test_precedence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precedence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realizations.dir/test_realizations.cc.o"
+  "CMakeFiles/test_realizations.dir/test_realizations.cc.o.d"
+  "test_realizations"
+  "test_realizations.pdb"
+  "test_realizations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_scale.dir/test_routing_scale.cc.o"
+  "CMakeFiles/test_routing_scale.dir/test_routing_scale.cc.o.d"
+  "test_routing_scale"
+  "test_routing_scale.pdb"
+  "test_routing_scale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

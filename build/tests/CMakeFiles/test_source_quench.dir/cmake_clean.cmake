@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_quench.dir/test_source_quench.cc.o"
+  "CMakeFiles/test_source_quench.dir/test_source_quench.cc.o.d"
+  "test_source_quench"
+  "test_source_quench.pdb"
+  "test_source_quench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_quench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traceroute.dir/test_traceroute.cc.o"
+  "CMakeFiles/test_traceroute.dir/test_traceroute.cc.o.d"
+  "test_traceroute"
+  "test_traceroute.pdb"
+  "test_traceroute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vc.cc" "tests/CMakeFiles/test_vc.dir/test_vc.cc.o" "gcc" "tests/CMakeFiles/test_vc.dir/test_vc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/catenet_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/catenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/catenet_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/catenet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/catenet_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/catenet_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/catenet_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/catenet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/catenet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/catenet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_more.dir/test_vc_more.cc.o"
+  "CMakeFiles/test_vc_more.dir/test_vc_more.cc.o.d"
+  "test_vc_more"
+  "test_vc_more.pdb"
+  "test_vc_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

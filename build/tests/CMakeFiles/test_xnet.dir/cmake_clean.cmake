@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xnet.dir/test_xnet.cc.o"
+  "CMakeFiles/test_xnet.dir/test_xnet.cc.o.d"
+  "test_xnet"
+  "test_xnet.pdb"
+  "test_xnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

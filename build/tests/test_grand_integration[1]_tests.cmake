@@ -1,0 +1,3 @@
+add_test([=[GrandIntegration.EverythingAtOnce]=]  /root/repo/build/tests/test_grand_integration [==[--gtest_filter=GrandIntegration.EverythingAtOnce]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GrandIntegration.EverythingAtOnce]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_grand_integration_TESTS GrandIntegration.EverythingAtOnce)

@@ -1,0 +1,3 @@
+add_test([=[MinimalHost.FullUdpServiceInAFewLines]=]  /root/repo/build/tests/test_minimal_host [==[--gtest_filter=MinimalHost.FullUdpServiceInAFewLines]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MinimalHost.FullUdpServiceInAFewLines]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_minimal_host_TESTS MinimalHost.FullUdpServiceInAFewLines)

@@ -140,7 +140,7 @@ bool IpStack::send_broadcast(std::uint8_t protocol, std::size_t ifindex,
     header.dst = kBroadcastAddress;
     ++stats_.datagrams_sent;
     auto wire = encode_datagram(header, payload);
-    iface.netif->send(link::make_packet(std::move(wire), sim_.now()), util::Ipv4Address{});
+    iface.netif->send(link::make_packet(std::move(wire), sim_), util::Ipv4Address{});
     return true;
 }
 
@@ -168,7 +168,7 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
 
     if (kIpv4HeaderSize + payload.size() <= mtu) {
         auto wire = encode_datagram(header, payload);
-        iface.netif->send(link::make_packet(std::move(wire), sim_.now()), next_hop);
+        iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
         return true;
     }
 
@@ -189,7 +189,7 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
         frag.more_fragments = header.more_fragments || (pos + len < payload.size());
         auto wire = encode_datagram(frag, payload.subspan(pos, len));
         ++stats_.fragments_created;
-        iface.netif->send(link::make_packet(std::move(wire), sim_.now()), next_hop);
+        iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
     }
     return true;
 }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "sim/simulator.h"
 #include "sim/time.h"
 #include "util/byte_buffer.h"
 
@@ -16,7 +17,9 @@ namespace catenet::link {
 struct Packet {
     util::ByteBuffer bytes;
 
-    /// Global trace id, assigned at creation.
+    /// Per-simulation trace id, assigned at creation. Drawn from the
+    /// owning Simulator's uid counter, so ids are reproducible run-to-run
+    /// and across scenarios running in the same process (no global state).
     std::uint64_t uid = 0;
 
     /// When the packet was created (for end-to-end latency measurement).
@@ -28,24 +31,12 @@ struct Packet {
     std::size_t size() const noexcept { return bytes.size(); }
 };
 
-/// Allocates trace ids. One instance per scenario is typical but a global
-/// default keeps casual use simple.
-class PacketIdAllocator {
-public:
-    std::uint64_t next() noexcept { return ++last_; }
-
-private:
-    std::uint64_t last_ = 0;
-};
-
-PacketIdAllocator& default_packet_ids() noexcept;
-
-inline Packet make_packet(util::ByteBuffer bytes, sim::Time now) {
+inline Packet make_packet(util::ByteBuffer bytes, sim::Simulator& sim) {
     Packet p;
     p.bytes = std::move(bytes);
-    p.uid = default_packet_ids().next();
-    p.created = now;
-    p.enqueued = now;
+    p.uid = sim.next_uid();
+    p.created = sim.now();
+    p.enqueued = sim.now();
     return p;
 }
 

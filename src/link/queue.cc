@@ -4,11 +4,6 @@
 
 namespace catenet::link {
 
-PacketIdAllocator& default_packet_ids() noexcept {
-    static PacketIdAllocator allocator;
-    return allocator;
-}
-
 DropTailQueue::DropTailQueue(std::size_t capacity_packets) : capacity_(capacity_packets) {
     if (capacity_ == 0) throw std::invalid_argument("DropTailQueue: zero capacity");
 }

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -25,37 +26,52 @@ std::string Time::to_string() const {
 
 std::ostream& operator<<(std::ostream& os, Time t) { return os << t.to_string(); }
 
-EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
-    if (when < now_) {
-        throw std::logic_error("Simulator::schedule_at in the past: " + when.to_string() +
-                               " < " + now_.to_string());
-    }
-    const EventId id = next_id_++;
-    queue_.push(Event{when, id});
-    callbacks_.emplace(id, std::move(fn));
-    return id;
+void Simulator::throw_past(const char* what, Time when) const {
+    throw std::logic_error("Simulator::" + std::string(what) + " in the past: " +
+                           when.to_string() + " < " + now_.to_string());
 }
 
-void Simulator::cancel(EventId id) {
-    if (callbacks_.erase(id) > 0) {
-        cancelled_.insert(id);
+std::uint32_t Simulator::grow_slots() {
+    if (slots_.size() >= kNilSlot) {
+        throw std::length_error("Simulator: event slot space exhausted");
     }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::compact_heap() {
+    std::erase_if(heap_, [this](const HeapEntry& e) {
+        const EventSlot& s = slots_[e.slot];
+        return !s.armed || s.seq != e.seq;
+    });
+    // Bottom-up heapify: O(n), and compaction runs amortized O(1) per
+    // schedule because the heap must double in stale entries to retrigger.
+    if (heap_.size() > 1) {
+        for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+            sift_down(i);
+        }
+    }
+}
+
+bool Simulator::is_pending(EventId id) const noexcept {
+    const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto generation = static_cast<std::uint32_t>(id >> 32);
+    return slot < slots_.size() && slots_[slot].armed &&
+           slots_[slot].generation == generation;
 }
 
 bool Simulator::step() {
-    while (!queue_.empty()) {
-        Event ev = queue_.top();
-        queue_.pop();
-        if (auto cancelled_it = cancelled_.find(ev.id); cancelled_it != cancelled_.end()) {
-            cancelled_.erase(cancelled_it);
-            continue;
-        }
-        auto it = callbacks_.find(ev.id);
-        // The callback must exist: ids are removed from callbacks_ only via
-        // cancel(), which also records them in cancelled_.
-        auto fn = std::move(it->second);
-        callbacks_.erase(it);
-        now_ = ev.when;
+    while (!heap_.empty()) {
+        const HeapEntry top = heap_.front();
+        pop_heap_entry();
+        EventSlot& s = slots_[top.slot];
+        if (!s.armed || s.seq != top.seq) continue;  // cancelled/rescheduled
+        now_ = top.when;
+        // Move the callback out and free the slot *before* invoking: the
+        // callback may cancel its own (now stale) id or schedule new
+        // events — typically re-arming into this very slot.
+        Callback fn = std::move(s.fn);
+        release_slot(top.slot);
         ++events_processed_;
         fn();
         return true;
@@ -69,15 +85,15 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time deadline) {
-    while (!queue_.empty()) {
-        // Peek past cancelled entries without firing anything late.
-        Event ev = queue_.top();
-        if (cancelled_.contains(ev.id)) {
-            queue_.pop();
-            cancelled_.erase(ev.id);
+    while (!heap_.empty()) {
+        // Peek past stale entries without firing anything late.
+        const HeapEntry& top = heap_.front();
+        const EventSlot& s = slots_[top.slot];
+        if (!s.armed || s.seq != top.seq) {
+            pop_heap_entry();
             continue;
         }
-        if (ev.when > deadline) break;
+        if (top.when > deadline) break;
         step();
     }
     if (deadline > now_) now_ = deadline;

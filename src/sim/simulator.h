@@ -2,25 +2,36 @@
 // equal times fire in scheduling order. Everything in the library — link
 // transmissions, protocol timers, application workloads — runs as events
 // on one Simulator instance per scenario.
+//
+// Internals are built for the hot path (see DESIGN.md §"Event-engine
+// internals"): events live in a contiguous free-listed slab of slots, an
+// EventId packs (slot index, generation) so cancellation is an O(1)
+// generation bump with no auxiliary containers, and the binary heap holds
+// only (time, seq, slot) triples that are invalidated lazily at pop.
+// Callbacks are InlineCallbacks: captures up to 48 bytes never touch the
+// heap, so steady-state schedule/cancel is allocation-free.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/inline_function.h"
 
 namespace catenet::sim {
 
-/// Handle for a scheduled event; lets the owner cancel it.
+/// Handle for a scheduled event; lets the owner cancel it. Packs
+/// (generation << 32) | slot index; generations start at 1, so no valid
+/// handle is ever 0.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
 public:
+    using Callback = util::InlineCallback;
+
     Simulator() = default;
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -28,15 +39,54 @@ public:
     Time now() const noexcept { return now_; }
 
     /// Schedules `fn` to run at absolute time `when` (must be >= now()).
-    EventId schedule_at(Time when, std::function<void()> fn);
+    /// Defined inline: this and cancel() are the two hottest functions in
+    /// the library, and the compiler folds the callback's ops dispatch to
+    /// straight-line code only when it sees construction and storage
+    /// together.
+    EventId schedule_at(Time when, Callback fn) {
+        if (when < now_) throw_past("schedule_at", when);
+        const std::uint32_t slot = acquire_slot();
+        EventSlot& s = slots_[slot];
+        s.when = when;
+        s.seq = next_seq_++;
+        s.armed = true;
+        s.fn = std::move(fn);
+        ++live_;
+        push_heap_entry(when, s.seq, slot);
+        return pack(s.generation, slot);
+    }
 
     /// Schedules `fn` to run `delay` after the current time.
-    EventId schedule_after(Time delay, std::function<void()> fn) {
+    EventId schedule_after(Time delay, Callback fn) {
         return schedule_at(now_ + delay, std::move(fn));
     }
 
     /// Cancels a pending event; no-op if already fired or cancelled.
-    void cancel(EventId id);
+    /// O(1): the slot's generation bump retires the id and the heap entry
+    /// goes stale, to be skipped lazily at pop.
+    void cancel(EventId id) {
+        std::uint32_t slot;
+        if (resolve(id, slot) != nullptr) release_slot(slot);
+    }
+
+    /// Moves a pending event to a new firing time (>= now()), keeping its
+    /// callback, slot and id. Returns false — having done nothing — if the
+    /// event already fired or was cancelled. The allocation-free re-arm
+    /// path for protocol timers.
+    bool reschedule(EventId id, Time when) {
+        if (when < now_) throw_past("reschedule", when);
+        std::uint32_t slot;
+        EventSlot* s = resolve(id, slot);
+        if (s == nullptr) return false;
+        s->when = when;
+        s->seq = next_seq_++;  // orphans the old heap entry
+        push_heap_entry(when, s->seq, slot);
+        return true;
+    }
+
+    /// True while `id` refers to an event that has neither fired nor been
+    /// cancelled.
+    bool is_pending(EventId id) const noexcept;
 
     /// Runs a single event; returns false when the queue is empty.
     bool step();
@@ -52,27 +102,135 @@ public:
     bool run_while(const std::function<bool()>& pred);
 
     std::uint64_t events_processed() const noexcept { return events_processed_; }
-    std::size_t pending_events() const noexcept { return queue_.size() - cancelled_.size(); }
+    std::size_t pending_events() const noexcept { return live_; }
+
+    /// Monotonic per-simulation id source (packet trace uids and the
+    /// like). Part of the deterministic replay state: same scenario, same
+    /// ids — and independent scenarios in one process never share it.
+    std::uint64_t next_uid() noexcept { return ++last_uid_; }
 
 private:
-    struct Event {
+    static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+    // One pool entry. `seq` is the global schedule sequence number of the
+    // slot's current arming: it breaks ties FIFO in the heap and doubles
+    // as the staleness check at pop (a cancelled or rescheduled arming
+    // leaves its old heap entry pointing at a slot whose seq moved on).
+    struct EventSlot {
         Time when;
-        EventId id;
-        // Ordered as a min-heap: earliest time first; FIFO among equals.
-        bool operator>(const Event& rhs) const noexcept {
-            if (when != rhs.when) return when > rhs.when;
-            return id > rhs.id;
-        }
+        std::uint64_t seq = 0;
+        std::uint32_t generation = 1;
+        std::uint32_t next_free = kNilSlot;
+        bool armed = false;
+        Callback fn;
     };
 
-    // Callbacks live beside the heap entries, keyed by id, so heap moves
-    // stay cheap and cancellation is O(1).
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-    std::unordered_map<EventId, std::function<void()>> callbacks_;
-    std::unordered_set<EventId> cancelled_;
+    // What the min-heap actually stores; 24 bytes, trivially copyable, so
+    // sift operations never touch callbacks. The heap is 4-ary: half the
+    // sift depth of a binary heap, and the four children share cache lines.
+    struct HeapEntry {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    // Earliest time first; FIFO among equals by schedule sequence.
+    static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+        if (a.when != b.when) return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    static constexpr EventId pack(std::uint32_t generation, std::uint32_t slot) noexcept {
+        return (static_cast<EventId>(generation) << 32) | slot;
+    }
+
+    EventSlot* resolve(EventId id, std::uint32_t& slot_out) noexcept {
+        const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+        const auto generation = static_cast<std::uint32_t>(id >> 32);
+        if (slot >= slots_.size()) return nullptr;
+        EventSlot& s = slots_[slot];
+        if (!s.armed || s.generation != generation) return nullptr;
+        slot_out = slot;
+        return &s;
+    }
+
+    std::uint32_t acquire_slot() {
+        if (free_head_ != kNilSlot) {
+            const std::uint32_t slot = free_head_;
+            free_head_ = slots_[slot].next_free;
+            return slot;
+        }
+        return grow_slots();
+    }
+
+    void release_slot(std::uint32_t index) noexcept {
+        EventSlot& s = slots_[index];
+        s.armed = false;
+        // Bumping the generation retires every EventId handed out for this
+        // arming; 0 is skipped on wraparound so packed ids stay nonzero.
+        if (++s.generation == 0) s.generation = 1;
+        s.fn.reset();
+        s.next_free = free_head_;
+        free_head_ = index;
+        --live_;
+    }
+
+    void push_heap_entry(Time when, std::uint64_t seq, std::uint32_t slot) {
+        const HeapEntry e{when, seq, slot};
+        std::size_t i = heap_.size();
+        heap_.push_back(e);
+        while (i > 0) {
+            const std::size_t parent = (i - 1) >> 2;
+            if (!before(e, heap_[parent])) break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+        // Cancel- or reschedule-heavy workloads strand stale entries whose
+        // firing time never reaches the top. Sweep them out when they
+        // dominate, keeping the heap O(live) without per-cancel surgery.
+        if (heap_.size() > 64 && heap_.size() > 4 * live_) compact_heap();
+    }
+
+    // Restores the heap property downward from `i`, assuming the subtrees
+    // below are valid heaps.
+    void sift_down(std::size_t i) {
+        const std::size_t n = heap_.size();
+        const HeapEntry e = heap_[i];
+        for (;;) {
+            const std::size_t first = 4 * i + 1;
+            if (first >= n) break;
+            std::size_t best = first;
+            const std::size_t end = first + 4 < n ? first + 4 : n;
+            for (std::size_t k = first + 1; k < end; ++k) {
+                if (before(heap_[k], heap_[best])) best = k;
+            }
+            if (!before(heap_[best], e)) break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = e;
+    }
+
+    // Removes heap_[0], restoring the 4-ary heap property.
+    void pop_heap_entry() {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) sift_down(0);
+    }
+
+    [[noreturn]] void throw_past(const char* what, Time when) const;
+    std::uint32_t grow_slots();
+    void compact_heap();
+
+    std::vector<EventSlot> slots_;
+    std::vector<HeapEntry> heap_;
+    std::uint32_t free_head_ = kNilSlot;
+    std::size_t live_ = 0;  ///< armed slots = pending events
     Time now_;
-    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 1;
     std::uint64_t events_processed_ = 0;
+    std::uint64_t last_uid_ = 0;
 };
 
 }  // namespace catenet::sim

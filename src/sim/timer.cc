@@ -3,8 +3,10 @@
 namespace catenet::sim {
 
 void Timer::schedule(Time delay) {
-    cancel();
     expiry_ = sim_.now() + delay;
+    // Re-arm in place while pending: the event keeps its slot and callback
+    // and only its firing time moves (one heap push, zero allocations).
+    if (id_ != kInvalidEventId && sim_.reschedule(id_, expiry_)) return;
     id_ = sim_.schedule_at(expiry_, [this] {
         id_ = kInvalidEventId;
         on_fire_();

@@ -4,23 +4,22 @@
 // never fire a stale timer.
 #pragma once
 
-#include <functional>
-
 #include "sim/simulator.h"
 
 namespace catenet::sim {
 
 class Timer {
 public:
-    Timer(Simulator& sim, std::function<void()> on_fire)
+    Timer(Simulator& sim, Simulator::Callback on_fire)
         : sim_(sim), on_fire_(std::move(on_fire)) {}
 
     Timer(const Timer&) = delete;
     Timer& operator=(const Timer&) = delete;
     ~Timer() { cancel(); }
 
-    /// (Re)arms the timer to fire `delay` from now. If already pending,
-    /// the previous schedule is cancelled first.
+    /// (Re)arms the timer to fire `delay` from now. A pending timer keeps
+    /// its event slot: re-arming is a Simulator::reschedule, which never
+    /// allocates and never reconstructs the callback.
     void schedule(Time delay);
 
     /// Arms the timer only if it is not already pending.
@@ -37,7 +36,7 @@ public:
 
 private:
     Simulator& sim_;
-    std::function<void()> on_fire_;
+    Simulator::Callback on_fire_;
     EventId id_ = kInvalidEventId;
     Time expiry_;
 };
@@ -47,7 +46,7 @@ private:
 /// `start_immediately` is set.
 class PeriodicTimer {
 public:
-    PeriodicTimer(Simulator& sim, std::function<void()> on_fire)
+    PeriodicTimer(Simulator& sim, Simulator::Callback on_fire)
         : sim_(sim), on_fire_(std::move(on_fire)), timer_(sim, [this] { fire(); }) {}
 
     void start(Time period, bool start_immediately = false);
@@ -58,7 +57,7 @@ private:
     void fire();
 
     Simulator& sim_;
-    std::function<void()> on_fire_;
+    Simulator::Callback on_fire_;
     Timer timer_;
     Time period_;
     bool running_ = false;

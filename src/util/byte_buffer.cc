@@ -28,8 +28,12 @@ void BufferWriter::put_zero(std::size_t count) {
 }
 
 void BufferWriter::patch_u16(std::size_t offset, std::uint16_t v) {
-    if (offset + 2 > buf_.size()) {
-        throw std::out_of_range("BufferWriter::patch_u16 past end");
+    // Overflow-safe form: `offset + 2 > size()` wraps for offsets near
+    // SIZE_MAX and would wave an out-of-range patch through to UB.
+    if (buf_.size() < 2 || offset > buf_.size() - 2) {
+        throw std::out_of_range("BufferWriter::patch_u16 past end: offset " +
+                                std::to_string(offset) + ", size " +
+                                std::to_string(buf_.size()));
     }
     buf_[offset] = static_cast<std::uint8_t>(v >> 8);
     buf_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);

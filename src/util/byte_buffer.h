@@ -42,7 +42,8 @@ public:
     void put_zero(std::size_t count);
 
     /// Overwrites two bytes at `offset` (used to patch checksums after the
-    /// fact). `offset + 2` must be within the current size.
+    /// fact). Throws std::out_of_range unless `offset + 2` is within the
+    /// current size.
     void patch_u16(std::size_t offset, std::uint16_t v);
 
     std::size_t size() const noexcept { return buf_.size(); }

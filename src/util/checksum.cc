@@ -1,13 +1,32 @@
 #include "util/checksum.h"
 
+#include <bit>
+#include <cstring>
+
 namespace catenet::util {
 
 void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) {
+    // Word-at-a-time per RFC 1071 §2(A) "deferred carries": the
+    // one's-complement sum of 16-bit words can be computed by summing
+    // wider words in a still-wider accumulator and folding once at the
+    // end. Each 8-byte chunk is loaded, normalized to big-endian so the
+    // 16-bit columns line up with the wire words, and added as two 32-bit
+    // halves — each at most 2^32-1, so the 64-bit accumulator has room
+    // for billions of chunks before finish() folds the carries back.
     std::size_t i = 0;
-    for (; i + 1 < bytes.size(); i += 2) {
+    const std::size_t n = bytes.size();
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, bytes.data() + i, 8);
+        if constexpr (std::endian::native == std::endian::little) {
+            chunk = __builtin_bswap64(chunk);  // std::byteswap is C++23
+        }
+        sum_ += (chunk >> 32) + (chunk & 0xffffffffu);
+    }
+    for (; i + 1 < n; i += 2) {
         sum_ += static_cast<std::uint16_t>((bytes[i] << 8) | bytes[i + 1]);
     }
-    if (i < bytes.size()) {
+    if (i < n) {
         sum_ += static_cast<std::uint16_t>(bytes[i] << 8);
     }
 }

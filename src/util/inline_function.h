@@ -1,0 +1,131 @@
+// A small-buffer-optimized, move-only callable for the event engine's hot
+// path. std::function heap-allocates any capture bigger than two pointers
+// (libstdc++) and drags in copy semantics the engine never needs; this type
+// stores captures up to kInlineSize bytes inline — sized so every scheduling
+// lambda in the library (link transmitters, TCP timers, IP deferred
+// delivery) fits — and falls back to the heap only beyond that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace catenet::util {
+
+class InlineCallback {
+public:
+    /// Inline capture capacity. Large enough for a `this` pointer plus a
+    /// shared_ptr<Packet> plus assorted scalars with room to spare.
+    static constexpr std::size_t kInlineSize = 48;
+
+    InlineCallback() noexcept = default;
+    InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            ops_ = &kInlineOps<D>;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            ops_ = &kHeapOps<D>;
+        }
+    }
+
+    InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+    InlineCallback& operator=(InlineCallback&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()() { ops_->invoke(storage_); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /// True when the callable lives in the inline buffer (no heap node).
+    bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+    /// Destroys the stored callable, leaving the callback empty.
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            if (ops_->destroy != nullptr) ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    /// Compile-time predicate: would a callable of type D be stored inline?
+    template <typename D>
+    static constexpr bool fits_inline() noexcept {
+        return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+private:
+    // relocate/destroy are null for types where a raw memcpy / no-op
+    // suffices (trivially copyable captures, and the heap case's stored
+    // pointer): the engine's steady state then moves callbacks with one
+    // constant-size memcpy and zero indirect calls.
+    struct Ops {
+        void (*invoke)(void* storage);
+        void (*relocate)(void* dst, void* src) noexcept;  // null => memcpy
+        void (*destroy)(void* storage) noexcept;          // null => no-op
+        bool inline_stored;
+    };
+
+    template <typename D>
+    static constexpr Ops kInlineOps{
+        [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+        std::is_trivially_copyable_v<D>
+            ? nullptr
+            : +[](void* dst, void* src) noexcept {
+                  D* from = std::launder(reinterpret_cast<D*>(src));
+                  ::new (dst) D(std::move(*from));
+                  from->~D();
+              },
+        std::is_trivially_destructible_v<D>
+            ? nullptr
+            : +[](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+        /*inline_stored=*/true,
+    };
+
+    template <typename D>
+    static constexpr Ops kHeapOps{
+        [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+        /*relocate=*/nullptr,  // relocating the owning pointer is a memcpy
+        [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+        /*inline_stored=*/false,
+    };
+
+    void move_from(InlineCallback& other) noexcept {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            if (ops_->relocate != nullptr) {
+                ops_->relocate(storage_, other.storage_);
+            } else {
+                std::memcpy(storage_, other.storage_, kInlineSize);
+            }
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace catenet::util

@@ -53,7 +53,7 @@ void LinkArq::transmit(std::uint16_t seq, const util::ByteBuffer& frame) {
     w.put_u16(seq);
     w.put_u16(rcv_expected_);  // piggybacked cumulative ack
     w.put_bytes(frame);
-    netif_.send(link::make_packet(w.take(), sim_.now()), util::Ipv4Address{});
+    netif_.send(link::make_packet(w.take(), sim_), util::Ipv4Address{});
 }
 
 void LinkArq::send_ack() {
@@ -61,7 +61,7 @@ void LinkArq::send_ack() {
     w.put_u8(kKindAck);
     w.put_u16(0);
     w.put_u16(rcv_expected_);
-    netif_.send(link::make_packet(w.take(), sim_.now()), util::Ipv4Address{});
+    netif_.send(link::make_packet(w.take(), sim_), util::Ipv4Address{});
     ++stats_.acks_sent;
 }
 

@@ -11,7 +11,9 @@ namespace catenet::link {
 namespace {
 
 Packet make_test_packet(std::size_t size, std::uint8_t fill = 0xab) {
-    return make_packet(util::ByteBuffer(size, fill), sim::Time(0));
+    Packet p;
+    p.bytes = util::ByteBuffer(size, fill);
+    return p;
 }
 
 // --- DropTailQueue -----------------------------------------------------
@@ -324,7 +326,7 @@ TEST_F(LanFixture, PreservesPayloadBytes) {
     util::ByteBuffer sent{1, 2, 3, 4, 5};
     util::ByteBuffer got;
     p1.set_receiver([&](Packet p) { got = p.bytes; });
-    p0.send(make_packet(sent, sim.now()), util::Ipv4Address(10, 0, 0, 2));
+    p0.send(make_packet(sent, sim), util::Ipv4Address(10, 0, 0, 2));
     sim.run();
     EXPECT_EQ(got, sent);
 }

@@ -1,11 +1,38 @@
 // Unit tests for the discrete-event engine: ordering, cancellation,
-// bounded runs, timers.
+// bounded runs, timers — plus the slot/generation pool's id-safety and
+// allocation guarantees.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "sim/timer.h"
+
+// Global allocation counter for the zero-allocation guarantees below.
+// Counts every operator-new in this test binary; tests measure deltas
+// around tight loops that make no other calls.
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+    ++g_heap_allocs;
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    ++g_heap_allocs;
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace catenet::sim {
 namespace {
@@ -100,6 +127,149 @@ TEST(Simulator, RunWhileStopsOnPredicate) {
     }
     sim.run_while([&] { return count < 7; });
     EXPECT_EQ(count, 7);
+}
+
+TEST(Simulator, CancelAfterFireDoesNotKillSlotReuser) {
+    // The fired event's slot is immediately reusable; the stale id must
+    // not cancel whatever new event landed in that slot.
+    Simulator sim;
+    bool first = false, second = false;
+    const auto stale = sim.schedule_at(milliseconds(1), [&] { first = true; });
+    sim.run();
+    ASSERT_TRUE(first);
+    const auto fresh = sim.schedule_at(milliseconds(2), [&] { second = true; });
+    EXPECT_EQ(fresh & 0xffffffffu, stale & 0xffffffffu) << "slot should be reused";
+    EXPECT_NE(fresh, stale) << "generation must differ";
+    sim.cancel(stale);  // no-op: generation moved on
+    EXPECT_TRUE(sim.is_pending(fresh));
+    sim.run();
+    EXPECT_TRUE(second);
+}
+
+TEST(Simulator, CancelTwiceDoesNotKillSlotReuser) {
+    Simulator sim;
+    bool fired = false;
+    const auto stale = sim.schedule_at(milliseconds(1), [] {});
+    sim.cancel(stale);
+    const auto fresh = sim.schedule_at(milliseconds(1), [&] { fired = true; });
+    sim.cancel(stale);  // double-cancel targets the retired generation
+    sim.cancel(stale);
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, RescheduleMovesFiringTime) {
+    Simulator sim;
+    Time fired_at;
+    const auto id = sim.schedule_at(milliseconds(5), [&] { fired_at = sim.now(); });
+    EXPECT_TRUE(sim.reschedule(id, milliseconds(40)));
+    sim.run();
+    EXPECT_EQ(fired_at, milliseconds(40));
+    EXPECT_EQ(sim.events_processed(), 1u) << "the old arming must not fire too";
+    EXPECT_FALSE(sim.reschedule(id, milliseconds(50))) << "already fired";
+}
+
+TEST(Simulator, RescheduleInsideCallback) {
+    // A firing event pushes a still-pending peer further out — the
+    // soft-state-refresh pattern. The peer must fire exactly once, at the
+    // new time.
+    Simulator sim;
+    std::vector<int> order;
+    EventId peer = kInvalidEventId;
+    sim.schedule_at(milliseconds(10), [&] {
+        order.push_back(1);
+        EXPECT_TRUE(sim.reschedule(peer, milliseconds(30)));
+    });
+    peer = sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+    sim.schedule_at(milliseconds(25), [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, RescheduleEarlierRunsBeforeInterveners) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+    const auto id = sim.schedule_at(milliseconds(50), [&] { order.push_back(2); });
+    sim.reschedule(id, milliseconds(5));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+    EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, IdReuseAcrossManyScheduleCancelCycles) {
+    // A million schedule/cancel cycles funnel through the same slot; every
+    // handed-out id must be distinct from its predecessor and stale ids
+    // must stay dead even as the generation counter climbs.
+    Simulator sim;
+    constexpr int kCycles = 1 << 20;
+    EventId previous = kInvalidEventId;
+    for (int i = 0; i < kCycles; ++i) {
+        const auto id = sim.schedule_after(milliseconds(1), [] { FAIL(); });
+        ASSERT_NE(id, previous);
+        ASSERT_NE(id, kInvalidEventId);
+        sim.cancel(id);
+        ASSERT_FALSE(sim.is_pending(id));
+        if (previous != kInvalidEventId) sim.cancel(previous);  // stale no-op
+        previous = id;
+    }
+    EXPECT_EQ(sim.pending_events(), 0u);
+    // The engine is still fully functional afterwards.
+    bool fired = false;
+    sim.schedule_after(milliseconds(1), [&] { fired = true; });
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, ScheduleCancelIsAllocationFreeAtSteadyState) {
+    // The hot-path guarantee: once the slab and heap have grown to
+    // capacity, schedule/cancel with captures <= 48 bytes never allocates.
+    Simulator sim;
+    struct Fat {
+        std::uint64_t a = 1, b = 2, c = 3, d = 4;
+        std::uint64_t* out;
+    } fat{};
+    std::uint64_t sink = 0;
+    fat.out = &sink;
+    static_assert(sizeof(Fat) <= util::InlineCallback::kInlineSize);
+    for (int i = 0; i < 4096; ++i) {  // warm-up: grow slab, heap, free list
+        sim.cancel(sim.schedule_after(milliseconds(1), [fat] { *fat.out += fat.a; }));
+    }
+    const std::uint64_t before = g_heap_allocs;
+    for (int i = 0; i < 4096; ++i) {
+        const auto id = sim.schedule_after(milliseconds(1), [fat] { *fat.out += fat.a; });
+        sim.cancel(id);
+    }
+    EXPECT_EQ(g_heap_allocs - before, 0u);
+}
+
+TEST(Simulator, TimerRearmIsAllocationFreeAtSteadyState) {
+    Simulator sim;
+    std::uint64_t fires = 0;
+    Timer t(sim, [&fires] { ++fires; });
+    t.schedule(milliseconds(5));
+    for (int i = 0; i < 1024; ++i) t.schedule(milliseconds(5));  // warm-up
+    const std::uint64_t before = g_heap_allocs;
+    for (int i = 0; i < 4096; ++i) t.schedule(milliseconds(5));
+    EXPECT_EQ(g_heap_allocs - before, 0u);
+    sim.run();
+    EXPECT_EQ(fires, 1u) << "re-arming must collapse to a single firing";
+}
+
+TEST(InlineCallbackEngine, OversizedCapturesStillWork) {
+    // Captures beyond the inline budget take the heap fallback and must
+    // behave identically.
+    Simulator sim;
+    struct Big {
+        std::uint64_t words[12];  // 96 bytes > 48
+    } big{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}};
+    static_assert(!util::InlineCallback::fits_inline<Big>());
+    std::uint64_t got = 0;
+    sim.schedule_after(milliseconds(1), [big, &got] { got = big.words[11]; });
+    sim.run();
+    EXPECT_EQ(got, 12u);
 }
 
 TEST(Timer, SchedulesAndFires) {

@@ -2,6 +2,9 @@
 // statistics, deterministic randomness.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <span>
+
 #include "util/byte_buffer.h"
 #include "util/checksum.h"
 #include "util/ip_address.h"
@@ -36,6 +39,24 @@ TEST(BufferWriter, PatchPastEndThrows) {
     BufferWriter w;
     w.put_u16(0);
     EXPECT_THROW(w.patch_u16(1, 0), std::out_of_range);
+}
+
+TEST(BufferWriter, PatchRejectsHugeOffsetWithoutWrapping) {
+    // A naive `offset + 2 > size` bounds check wraps for offsets near
+    // SIZE_MAX and silently writes out of range.
+    BufferWriter w;
+    w.put_u32(0);
+    EXPECT_THROW(w.patch_u16(std::numeric_limits<std::size_t>::max(), 0xffff),
+                 std::out_of_range);
+    EXPECT_THROW(w.patch_u16(std::numeric_limits<std::size_t>::max() - 1, 0xffff),
+                 std::out_of_range);
+}
+
+TEST(BufferWriter, PatchOnEmptyOrTinyBufferThrows) {
+    BufferWriter w;
+    EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
+    w.put_u8(0);
+    EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
 }
 
 TEST(BufferReader, RoundTripsWriterOutput) {
@@ -78,6 +99,53 @@ TEST(Checksum, Rfc1071WorkedExample) {
     // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2 -> checksum 0x220d
     const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
     EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, KnownIpv4HeaderVector) {
+    // Classic worked IPv4 header (checksum field holds 0xb861); a buffer
+    // containing its correct checksum folds to zero.
+    const std::uint8_t header[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+                                   0x40, 0x11, 0xb8, 0x61, 0xc0, 0xa8, 0x00, 0x01,
+                                   0xc0, 0xa8, 0x00, 0xc7};
+    EXPECT_TRUE(checksum_valid(header));
+    auto zeroed = ByteBuffer(header, header + sizeof(header));
+    zeroed[10] = zeroed[11] = 0;
+    EXPECT_EQ(internet_checksum(zeroed), 0xb861);
+}
+
+TEST(Checksum, WordAtATimeMatchesByteAtATimeReference) {
+    // The production path folds 64-bit chunks (RFC 1071 deferred carries);
+    // it must agree bit-for-bit with the definitional per-word sum at
+    // every length, including odd tails and sub-word buffers.
+    Rng rng(7);
+    for (std::size_t size = 0; size <= 130; ++size) {
+        ByteBuffer buf(size);
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        std::uint64_t ref = 0;
+        std::size_t i = 0;
+        for (; i + 1 < buf.size(); i += 2) {
+            ref += static_cast<std::uint16_t>((buf[i] << 8) | buf[i + 1]);
+        }
+        if (i < buf.size()) ref += static_cast<std::uint16_t>(buf[i] << 8);
+        while (ref >> 16) ref = (ref & 0xffff) + (ref >> 16);
+        const auto expected = static_cast<std::uint16_t>(~ref & 0xffff);
+        ASSERT_EQ(internet_checksum(buf), expected) << "size=" << size;
+    }
+}
+
+TEST(Checksum, ChunkedAddsMatchOneShot) {
+    // Feeding the accumulator in arbitrary even-size chunks must match a
+    // single add — chunk seams land mid-word-block on purpose.
+    Rng rng(11);
+    ByteBuffer buf(96);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    ChecksumAccumulator chunked;
+    std::span<const std::uint8_t> view(buf);
+    chunked.add(view.subspan(0, 2));
+    chunked.add(view.subspan(2, 6));
+    chunked.add(view.subspan(8, 10));
+    chunked.add(view.subspan(18, 78));
+    EXPECT_EQ(chunked.finish(), internet_checksum(buf));
 }
 
 TEST(Checksum, OddLengthPadsWithZero) {

@@ -12,18 +12,24 @@ BulkServer::BulkServer(core::Host& host, std::uint16_t port, const tcp::TcpConfi
             auto conn = std::make_shared<Conn>();
             conn->socket = socket;
             conns_.push_back(conn);
-            socket->on_data = [this, conn](std::span<const std::uint8_t> data) {
+            // The callbacks capture the Conn raw, not by shared_ptr: the
+            // socket owns its callbacks, so a strong capture of an object
+            // that owns the socket is a reference cycle and neither side
+            // would ever free. conns_ keeps the Conn alive for the
+            // server's lifetime, the same contract as the `this` capture.
+            Conn* c = conn.get();
+            socket->on_data = [this, c](std::span<const std::uint8_t> data) {
                 for (const auto byte : data) {
-                    if (byte != static_cast<std::uint8_t>(conn->offset & 0xff)) {
+                    if (byte != static_cast<std::uint8_t>(c->offset & 0xff)) {
                         ++pattern_errors_;
                     }
-                    ++conn->offset;
+                    ++c->offset;
                 }
                 bytes_ += data.size();
             };
-            socket->on_remote_close = [conn] {
+            socket->on_remote_close = [c] {
                 // Sender finished: close our half too.
-                conn->socket->close();
+                c->socket->close();
             };
             socket->on_closed = [this] { ++completed_; };
         },

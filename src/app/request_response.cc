@@ -20,32 +20,36 @@ RpcServer::RpcServer(core::Host& host, std::uint16_t port, const tcp::TcpConfig&
             auto conn = std::make_shared<Conn>();
             conn->socket = socket;
             conns_.push_back(conn);
-            socket->on_data = [this, conn](std::span<const std::uint8_t> data) {
-                on_bytes(conn, data);
+            // Raw Conn capture: the socket owns these callbacks, so a
+            // strong capture of the Conn (which owns the socket) would be
+            // a reference cycle. conns_ keeps the Conn alive for the
+            // server's lifetime, the same contract as the `this` capture.
+            Conn* c = conn.get();
+            socket->on_data = [this, c](std::span<const std::uint8_t> data) {
+                on_bytes(*c, data);
             };
-            socket->on_remote_close = [conn] { conn->socket->close(); };
+            socket->on_remote_close = [c] { c->socket->close(); };
         },
         rpc_config);
 }
 
-void RpcServer::on_bytes(const std::shared_ptr<Conn>& conn,
-                         std::span<const std::uint8_t> data) {
-    conn->accum.insert(conn->accum.end(), data.begin(), data.end());
-    while (conn->accum.size() >= kRequestHeader) {
-        util::BufferReader r(conn->accum);
+void RpcServer::on_bytes(Conn& conn, std::span<const std::uint8_t> data) {
+    conn.accum.insert(conn.accum.end(), data.begin(), data.end());
+    while (conn.accum.size() >= kRequestHeader) {
+        util::BufferReader r(conn.accum);
         const std::uint32_t id = r.get_u32();
         const std::uint16_t response_size = r.get_u16();
         // Requests are exactly header-sized in this protocol; any extra
         // request payload rides in front of the next header and is skipped
         // by the client's sizing, so consume only the header here.
-        conn->accum.erase(conn->accum.begin(), conn->accum.begin() + kRequestHeader);
+        conn.accum.erase(conn.accum.begin(), conn.accum.begin() + kRequestHeader);
 
         const std::size_t size = std::max<std::size_t>(response_size, 4);
         util::BufferWriter w(size);
         w.put_u32(id);
         w.put_zero(size - 4);
-        conn->socket->send(w.data());
-        conn->socket->push();
+        conn.socket->send(w.data());
+        conn.socket->push();
         ++served_;
     }
 }

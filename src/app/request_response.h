@@ -28,7 +28,7 @@ private:
         util::ByteBuffer accum;
     };
 
-    void on_bytes(const std::shared_ptr<Conn>& conn, std::span<const std::uint8_t> data);
+    void on_bytes(Conn& conn, std::span<const std::uint8_t> data);
 
     core::Host& host_;
     std::vector<std::shared_ptr<Conn>> conns_;

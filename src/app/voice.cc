@@ -107,11 +107,11 @@ VoiceOverTcp::VoiceOverTcp(core::Host& sender, core::Host& receiver, std::uint16
     // Interactivity settings: batching delay is poison for voice.
     tcp_config.nagle = false;
     tcp_config.tos = config.tos;
-    receiver.tcp().listen(port, [this](std::shared_ptr<tcp::TcpSocket> socket) {
-        auto* self = this;
-        socket->on_data = [self, socket](std::span<const std::uint8_t> data) {
-            self->on_bytes(data);
-        };
+    receiver.tcp().listen(port, [this](const std::shared_ptr<tcp::TcpSocket>& socket) {
+        // No socket capture: the TCP stack keeps the accepted socket alive
+        // while it can still deliver data, and a strong self-capture in the
+        // socket's own callback would be a reference cycle.
+        socket->on_data = [this](std::span<const std::uint8_t> data) { on_bytes(data); };
     });
     tx_ = sender.tcp().connect(receiver.address(), port, tcp_config);
 }

@@ -1,6 +1,7 @@
 #include "ip/icmp.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/checksum.h"
 
@@ -32,15 +33,41 @@ IcmpMessage IcmpMessage::error(IcmpType type, std::uint8_t code,
     return m;
 }
 
+namespace {
+
+// Writes the full message into `out` (resized to fit); every byte stored,
+// so recycled capacity never leaks stale contents.
+void write_icmp(util::ByteBuffer& out, const IcmpMessage& msg) {
+    out.resize(8 + msg.body.size());
+    std::uint8_t* p = out.data();
+    p[0] = static_cast<std::uint8_t>(msg.type);
+    p[1] = msg.code;
+    p[2] = 0;  // checksum placeholder
+    p[3] = 0;
+    p[4] = static_cast<std::uint8_t>(msg.rest >> 24);
+    p[5] = static_cast<std::uint8_t>(msg.rest >> 16);
+    p[6] = static_cast<std::uint8_t>(msg.rest >> 8);
+    p[7] = static_cast<std::uint8_t>(msg.rest & 0xff);
+    if (!msg.body.empty()) {
+        std::memcpy(p + 8, msg.body.data(), msg.body.size());
+    }
+    const std::uint16_t checksum = util::internet_checksum(out);
+    p[2] = static_cast<std::uint8_t>(checksum >> 8);
+    p[3] = static_cast<std::uint8_t>(checksum & 0xff);
+}
+
+}  // namespace
+
 util::ByteBuffer encode_icmp(const IcmpMessage& msg) {
-    util::BufferWriter w(8 + msg.body.size());
-    w.put_u8(static_cast<std::uint8_t>(msg.type));
-    w.put_u8(msg.code);
-    w.put_u16(0);  // checksum placeholder
-    w.put_u32(msg.rest);
-    w.put_bytes(msg.body);
-    w.patch_u16(2, util::internet_checksum(w.data()));
-    return w.take();
+    util::ByteBuffer out;
+    write_icmp(out, msg);
+    return out;
+}
+
+util::ByteBuffer encode_icmp(const IcmpMessage& msg, util::BufferPool& pool) {
+    util::ByteBuffer out = pool.acquire(8 + msg.body.size());
+    write_icmp(out, msg);
+    return out;
 }
 
 std::optional<IcmpMessage> decode_icmp(std::span<const std::uint8_t> wire) {

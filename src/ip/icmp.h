@@ -8,6 +8,7 @@
 #include <optional>
 #include <span>
 
+#include "util/buffer_pool.h"
 #include "util/byte_buffer.h"
 #include "util/ip_address.h"
 
@@ -48,6 +49,11 @@ struct IcmpMessage {
 
 /// Serializes with the ICMP checksum filled in.
 util::ByteBuffer encode_icmp(const IcmpMessage& msg);
+
+/// Pool-recycling variant (identical bytes): ICMP generation happens on
+/// gateways under stress — echo replies, unreachables, quenches — and
+/// should not allocate once the pool is warm.
+util::ByteBuffer encode_icmp(const IcmpMessage& msg, util::BufferPool& pool);
 
 /// Returns nullopt when the checksum is invalid; throws util::DecodeError
 /// when structurally malformed.

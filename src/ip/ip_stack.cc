@@ -1,6 +1,7 @@
 #include "ip/ip_stack.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "ip/protocols.h"
 #include "util/logging.h"
@@ -9,7 +10,7 @@ namespace catenet::ip {
 
 namespace {
 const util::Logger kLog("ip");
-}
+}  // namespace
 
 IpStack::IpStack(sim::Simulator& sim, std::string name)
     : sim_(sim), name_(std::move(name)), reassembler_(sim) {}
@@ -46,6 +47,8 @@ void IpStack::set_down(bool down) {
 
 void IpStack::flush_routes() {
     // Keep connected routes (re-derived from hardware); drop the rest.
+    // Every remove bumps the table generation, so the route cache is
+    // implicitly flushed with it.
     auto snapshot = routes_.routes();
     for (const auto& r : snapshot) {
         if (r.origin != "connected") routes_.remove(r.prefix);
@@ -59,6 +62,25 @@ void IpStack::register_protocol(std::uint8_t protocol, ProtocolHandler handler) 
 bool IpStack::is_local_address(util::Ipv4Address addr) const {
     return std::any_of(interfaces_.begin(), interfaces_.end(),
                        [&](const Interface& i) { return i.address == addr; });
+}
+
+const Route* IpStack::lookup_route(util::Ipv4Address dst) {
+    static_assert((kRouteCacheSlots & (kRouteCacheSlots - 1)) == 0);
+    // Direct-mapped index: Fibonacci hash of the host-order address,
+    // taking the top bits so dense address blocks (10.0.x.y) spread out.
+    const std::size_t index =
+        (dst.value() * 2654435761u) >> (32 - std::bit_width(kRouteCacheSlots - 1));
+    const std::uint64_t generation = routes_.generation();
+    RouteCacheEntry& slot = route_cache_[index];
+    if (slot.generation != generation || slot.dst != dst) {
+        // Miss or stale line: one real LPM refills it. Negative results
+        // are cached too (route == nullptr) — a gateway being flooded with
+        // unroutable datagrams is exactly when the table scan hurts most.
+        slot.dst = dst;
+        slot.route = routes_.lookup(dst).get();
+        slot.generation = generation;
+    }
+    return slot.route;
 }
 
 bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
@@ -81,8 +103,8 @@ bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
         return true;
     }
 
-    const auto route = routes_.lookup(dst);
-    if (!route) {
+    const Route* route = lookup_route(dst);
+    if (route == nullptr) {
         ++stats_.dropped_no_route;
         return false;
     }
@@ -139,7 +161,7 @@ bool IpStack::send_broadcast(std::uint8_t protocol, std::size_t ifindex,
     header.src = iface.address;
     header.dst = kBroadcastAddress;
     ++stats_.datagrams_sent;
-    auto wire = encode_datagram(header, payload);
+    auto wire = encode_datagram(header, payload, sim_.buffer_pool());
     iface.netif->send(link::make_packet(std::move(wire), sim_), util::Ipv4Address{});
     return true;
 }
@@ -147,14 +169,17 @@ bool IpStack::send_broadcast(std::uint8_t protocol, std::size_t ifindex,
 bool IpStack::ping(util::Ipv4Address dst, std::uint16_t id, std::uint16_t seq,
                    util::ByteBuffer data, std::uint8_t ttl) {
     const auto msg = IcmpMessage::echo_request(id, seq, std::move(data));
-    const auto wire = encode_icmp(msg);
+    auto wire = encode_icmp(msg, sim_.buffer_pool());
     SendOptions opts;
     opts.ttl = ttl;
-    return send(kProtoIcmp, dst, wire, opts);
+    const bool ok = send(kProtoIcmp, dst, wire, opts);
+    sim_.buffer_pool().recycle(std::move(wire));
+    return ok;
 }
 
 // Fragments (if permitted and necessary) and hands wire datagrams to the
-// egress interface.
+// egress interface. Host-side only in steady state: forwarded datagrams
+// that fit the egress MTU bypass this entirely (see forward()'s fast path).
 bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> payload,
                        const Route& route) {
     auto& iface = interfaces_.at(route.ifindex);
@@ -167,7 +192,7 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
     const std::size_t mtu = iface.netif->mtu();
 
     if (kIpv4HeaderSize + payload.size() <= mtu) {
-        auto wire = encode_datagram(header, payload);
+        auto wire = encode_datagram(header, payload, sim_.buffer_pool());
         iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
         return true;
     }
@@ -187,7 +212,7 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
         Ipv4Header frag = header;
         frag.fragment_offset = static_cast<std::uint16_t>((base_offset + pos) / 8);
         frag.more_fragments = header.more_fragments || (pos + len < payload.size());
-        auto wire = encode_datagram(frag, payload.subspan(pos, len));
+        auto wire = encode_datagram(frag, payload.subspan(pos, len), sim_.buffer_pool());
         ++stats_.fragments_created;
         iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
     }
@@ -195,18 +220,29 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
 }
 
 void IpStack::receive(std::size_t ifindex, link::Packet packet) {
-    if (down_) return;
+    if (down_) {
+        recycle_wire(packet);
+        return;
+    }
     ++stats_.datagrams_received;
 
     DecodedDatagram d;
+    bool checksum_ok = false;
     try {
-        if (!decode_datagram(packet.bytes, d)) {
-            ++stats_.dropped_bad_checksum;
-            if (trace_) trace_("drop", d.header, packet.size());
-            return;
-        }
+        checksum_ok = decode_datagram(packet.bytes, d);
     } catch (const util::DecodeError&) {
+        // Same drop event as every other discard; the header carries
+        // whatever fields decoded before the failure (best effort, exactly
+        // what a wire sniffer would report for a mangled datagram).
         ++stats_.dropped_malformed;
+        if (trace_) trace_("drop", d.header, packet.size());
+        recycle_wire(packet);
+        return;
+    }
+    if (!checksum_ok) {
+        ++stats_.dropped_bad_checksum;
+        if (trace_) trace_("drop", d.header, packet.size());
+        recycle_wire(packet);
         return;
     }
     if (trace_) trace_("rx", d.header, packet.size());
@@ -216,19 +252,21 @@ void IpStack::receive(std::size_t ifindex, link::Packet packet) {
     if (is_local_address(d.header.dst) || d.header.dst == kBroadcastAddress) {
         if (d.header.is_fragment()) {
             auto completed = reassembler_.add_fragment(d.header, payload);
-            if (!completed) return;
-            deliver_local(d.header, *completed, ifindex);
+            if (completed) deliver_local(d.header, *completed, ifindex);
         } else {
             deliver_local(d.header, payload, ifindex);
         }
+        recycle_wire(packet);
         return;
     }
 
     if (!forwarding_) {
         ++stats_.dropped_not_for_us;
+        recycle_wire(packet);
         return;
     }
-    forward(d.header, packet.bytes, ifindex);
+    forward(d, packet, ifindex);
+    recycle_wire(packet);  // no-op when the fast path moved the buffer on
 }
 
 void IpStack::deliver_local(const Ipv4Header& header, std::span<const std::uint8_t> payload,
@@ -242,40 +280,69 @@ void IpStack::deliver_local(const Ipv4Header& header, std::span<const std::uint8
     if (it != protocols_.end()) {
         it->second(header, payload, ifindex);
     } else if (header.protocol != kProtoIcmp) {
-        send_icmp_error(IcmpType::DestinationUnreachable, kUnreachProtocol,
-                        // Reconstruct enough of the offending datagram.
-                        encode_datagram(header, payload.subspan(
-                                            0, std::min<std::size_t>(payload.size(), 8))));
+        // Reconstruct enough of the offending datagram.
+        auto offending = encode_datagram(
+            header, payload.subspan(0, std::min<std::size_t>(payload.size(), 8)),
+            sim_.buffer_pool());
+        send_icmp_error(IcmpType::DestinationUnreachable, kUnreachProtocol, offending);
+        sim_.buffer_pool().recycle(std::move(offending));
     }
 }
 
-void IpStack::forward(const Ipv4Header& header, std::span<const std::uint8_t> wire,
+void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
                       std::size_t in_ifindex) {
     (void)in_ifindex;
+    const Ipv4Header& header = d.header;
+    const std::span<const std::uint8_t> wire = packet.bytes;
     if (header.ttl <= 1) {
         ++stats_.dropped_ttl_expired;
         if (trace_) trace_("drop", header, wire.size());
         send_icmp_error(IcmpType::TimeExceeded, 0, wire);
         return;
     }
-    const auto route = routes_.lookup(header.dst);
-    if (!route) {
+    const Route* route = lookup_route(header.dst);
+    if (route == nullptr) {
         ++stats_.dropped_no_route;
         if (trace_) trace_("drop", header, wire.size());
         send_icmp_error(IcmpType::DestinationUnreachable, kUnreachNet, wire);
         return;
     }
 
-    Ipv4Header out = header;
-    out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
-    const auto payload = wire.subspan(kIpv4HeaderSize, header.total_length - kIpv4HeaderSize);
-
     auto& iface = interfaces_.at(route->ifindex);
     const std::size_t mtu = iface.netif->mtu();
-    if (out.dont_fragment && kIpv4HeaderSize + payload.size() > mtu) {
+    if (header.dont_fragment && std::size_t{header.total_length} > mtu) {
         send_icmp_error(IcmpType::DestinationUnreachable, kUnreachFragNeeded, wire);
         return;
     }
+
+    Ipv4Header out = header;
+    out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
+
+    // Fast path — the overwhelmingly common shape: no IP options, no link
+    // trailer, fits the egress MTU. The datagram is never re-serialized:
+    // TTL is decremented in the received bytes, the checksum patched
+    // incrementally (RFC 1624), and the owned buffer moves straight to the
+    // egress queue. Zero copies, zero allocations.
+    if (d.header_length == kIpv4HeaderSize && wire.size() == header.total_length &&
+        wire.size() <= mtu) {
+        if (!iface.netif->is_up()) {
+            ++stats_.dropped_iface_down;
+            return;
+        }
+        const std::size_t wire_bytes = wire.size();
+        const util::Ipv4Address next_hop =
+            route->next_hop.is_unspecified() ? header.dst : route->next_hop;
+        decrement_ttl(packet.bytes);
+        iface.netif->send(std::move(packet), next_hop);
+        ++stats_.forwarded;
+        if (trace_) trace_("fwd", out, wire_bytes);
+        if (forward_tap_) forward_tap_(out, wire_bytes);
+        return;
+    }
+
+    // Slow path (IP options, link padding, or fragmentation ahead): decode
+    // and re-serialize exactly as the seed did.
+    const auto payload = payload_of(wire, d);
     if (transmit(out, payload, *route)) {
         ++stats_.forwarded;
         if (trace_) trace_("fwd", out, wire.size());
@@ -289,9 +356,11 @@ void IpStack::handle_icmp(const Ipv4Header& header, std::span<const std::uint8_t
     switch (msg->type) {
         case IcmpType::EchoRequest: {
             const auto reply = IcmpMessage::echo_reply(*msg);
+            auto wire = encode_icmp(reply, sim_.buffer_pool());
             SendOptions opts;
             opts.source = header.dst;
-            send(kProtoIcmp, header.src, encode_icmp(reply), opts);
+            send(kProtoIcmp, header.src, wire, opts);
+            sim_.buffer_pool().recycle(std::move(wire));
             break;
         }
         case IcmpType::DestinationUnreachable:
@@ -320,8 +389,12 @@ void IpStack::send_icmp_error(IcmpType type, std::uint8_t code,
                 return;
             }
         }
-        const auto msg = IcmpMessage::error(type, code, offending_wire);
-        if (send(kProtoIcmp, d.header.src, encode_icmp(msg))) {
+        IcmpMessage msg = IcmpMessage::error(type, code, offending_wire);
+        auto wire = encode_icmp(msg, sim_.buffer_pool());
+        const bool sent = send(kProtoIcmp, d.header.src, wire);
+        sim_.buffer_pool().recycle(std::move(wire));
+        sim_.buffer_pool().recycle(std::move(msg.body));
+        if (sent) {
             ++stats_.icmp_errors_sent;
         }
     } catch (const util::DecodeError&) {

@@ -7,6 +7,7 @@
 // being structurally true, not merely configured.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -161,21 +162,46 @@ private:
         util::Ipv4Prefix subnet;
     };
 
+    // One line of the destination→route cache: pure soft state in the
+    // paper's sense. A line is live only while its generation matches the
+    // routing table's; any install/remove/flush bumps the table generation
+    // and thereby invalidates every line at once, so a stale route can
+    // never be served and wiping the cache is always behavior-free.
+    struct RouteCacheEntry {
+        util::Ipv4Address dst;
+        const Route* route = nullptr;
+        std::uint64_t generation = 0;  ///< table generations start at 1
+    };
+    static constexpr std::size_t kRouteCacheSlots = 64;  // direct-mapped
+
     void receive(std::size_t ifindex, link::Packet packet);
     void deliver_local(const Ipv4Header& header, std::span<const std::uint8_t> payload,
                        std::size_t ifindex);
-    void forward(const Ipv4Header& header, std::span<const std::uint8_t> wire,
-                 std::size_t in_ifindex);
+    /// Forwarding takes the owned packet: the non-fragmenting fast path
+    /// rewrites TTL/checksum in place and moves the buffer straight to the
+    /// egress interface. On every other path the packet is left with the
+    /// caller, which recycles it.
+    void forward(const DecodedDatagram& d, link::Packet& packet, std::size_t in_ifindex);
     bool transmit(const Ipv4Header& header, std::span<const std::uint8_t> payload,
                   const Route& route);
     void handle_icmp(const Ipv4Header& header, std::span<const std::uint8_t> payload);
     void send_icmp_error(IcmpType type, std::uint8_t code,
                          std::span<const std::uint8_t> offending_wire);
 
+    /// Cached longest-prefix match (nullptr = no route). Serves the
+    /// per-packet lookups in send() and forward().
+    const Route* lookup_route(util::Ipv4Address dst);
+    /// Returns a retired packet's buffer capacity to the simulation pool;
+    /// no-op if the buffer was already moved onward.
+    void recycle_wire(link::Packet& packet) {
+        sim_.buffer_pool().recycle(std::move(packet.bytes));
+    }
+
     sim::Simulator& sim_;
     std::string name_;
     std::vector<Interface> interfaces_;
     RoutingTable routes_;
+    std::array<RouteCacheEntry, kRouteCacheSlots> route_cache_{};
     Reassembler reassembler_;
     std::unordered_map<std::uint8_t, ProtocolHandler> protocols_;
     std::vector<IcmpErrorHandler> icmp_error_handlers_;

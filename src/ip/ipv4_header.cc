@@ -1,39 +1,88 @@
 #include "ip/ipv4_header.h"
 
+#include <cstring>
+#include <stdexcept>
+
 #include "util/checksum.h"
 
 namespace catenet::ip {
 
-util::ByteBuffer encode_datagram(const Ipv4Header& header,
-                                 std::span<const std::uint8_t> payload) {
+namespace {
+
+inline std::uint16_t load_u16(const std::uint8_t* p) noexcept {
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline void store_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+inline void store_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+// Writes the full wire image into `out` (resized to fit). Shared by the
+// fresh-allocation and pool-recycling entry points; every byte of `out` is
+// stored, so a recycled buffer's previous contents can never leak through.
+void write_datagram(util::ByteBuffer& out, const Ipv4Header& header,
+                    std::span<const std::uint8_t> payload) {
     const auto total = kIpv4HeaderSize + payload.size();
     if (total > 0xffff) {
         throw std::length_error("IPv4 datagram exceeds 65535 bytes");
     }
-    util::BufferWriter w(total);
-    w.put_u8(0x45);  // version 4, IHL 5 words
-    w.put_u8(header.tos);
-    w.put_u16(static_cast<std::uint16_t>(total));
-    w.put_u16(header.identification);
+    out.resize(total);
+    std::uint8_t* p = out.data();
+    p[0] = 0x45;  // version 4, IHL 5 words
+    p[1] = header.tos;
+    store_u16(p + 2, static_cast<std::uint16_t>(total));
+    store_u16(p + 4, header.identification);
     std::uint16_t frag = header.fragment_offset & 0x1fff;
     if (header.dont_fragment) frag |= 0x4000;
     if (header.more_fragments) frag |= 0x2000;
-    w.put_u16(frag);
-    w.put_u8(header.ttl);
-    w.put_u8(header.protocol);
-    w.put_u16(0);  // checksum placeholder
-    w.put_u32(header.src.value());
-    w.put_u32(header.dst.value());
-    const auto checksum = util::internet_checksum(
-        std::span<const std::uint8_t>(w.data().data(), kIpv4HeaderSize));
-    w.patch_u16(10, checksum);
-    w.put_bytes(payload);
-    return w.take();
+    store_u16(p + 6, frag);
+    p[8] = header.ttl;
+    p[9] = header.protocol;
+    store_u16(p + 10, 0);  // checksum placeholder
+    store_u32(p + 12, header.src.value());
+    store_u32(p + 16, header.dst.value());
+    store_u16(p + 10, util::internet_checksum({p, kIpv4HeaderSize}));
+    if (!payload.empty()) {
+        std::memcpy(p + kIpv4HeaderSize, payload.data(), payload.size());
+    }
+}
+
+}  // namespace
+
+util::ByteBuffer encode_datagram(const Ipv4Header& header,
+                                 std::span<const std::uint8_t> payload) {
+    util::ByteBuffer out;
+    out.reserve(kIpv4HeaderSize + payload.size());
+    write_datagram(out, header, payload);
+    return out;
+}
+
+util::ByteBuffer encode_datagram(const Ipv4Header& header,
+                                 std::span<const std::uint8_t> payload,
+                                 util::BufferPool& pool) {
+    util::ByteBuffer out = pool.acquire(kIpv4HeaderSize + payload.size());
+    write_datagram(out, header, payload);
+    return out;
 }
 
 bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out) {
-    util::BufferReader r(wire);
-    const std::uint8_t version_ihl = r.get_u8();
+    // Hot path of every gateway hop: the fixed header is read with direct
+    // loads (all offsets proven in range by the IHL check) instead of a
+    // bounds-checked cursor. Validation order and outcomes match the
+    // original cursor-based decoder exactly.
+    if (wire.empty()) {
+        throw util::DecodeError("truncated datagram");
+    }
+    const std::uint8_t* p = wire.data();
+    const std::uint8_t version_ihl = p[0];
     if ((version_ihl >> 4) != 4) {
         throw util::DecodeError("not an IPv4 datagram");
     }
@@ -42,27 +91,41 @@ bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out) {
         throw util::DecodeError("bad IHL");
     }
     Ipv4Header& h = out.header;
-    h.tos = r.get_u8();
-    h.total_length = r.get_u16();
+    h.tos = p[1];
+    h.total_length = load_u16(p + 2);
     if (h.total_length < header_len || h.total_length > wire.size()) {
         throw util::DecodeError("bad total length");
     }
-    h.identification = r.get_u16();
-    const std::uint16_t frag = r.get_u16();
+    h.identification = load_u16(p + 4);
+    const std::uint16_t frag = load_u16(p + 6);
     h.dont_fragment = (frag & 0x4000) != 0;
     h.more_fragments = (frag & 0x2000) != 0;
     h.fragment_offset = frag & 0x1fff;
-    h.ttl = r.get_u8();
-    h.protocol = r.get_u8();
-    r.get_u16();  // checksum (validated over the whole header below)
-    h.src = util::Ipv4Address(r.get_u32());
-    h.dst = util::Ipv4Address(r.get_u32());
+    h.ttl = p[8];
+    h.protocol = p[9];
+    h.src = util::Ipv4Address(
+        (std::uint32_t{p[12]} << 24) | (std::uint32_t{p[13]} << 16) |
+        (std::uint32_t{p[14]} << 8) | std::uint32_t{p[15]});
+    h.dst = util::Ipv4Address(
+        (std::uint32_t{p[16]} << 24) | (std::uint32_t{p[17]} << 16) |
+        (std::uint32_t{p[18]} << 8) | std::uint32_t{p[19]});
 
     out.header_length = header_len;
     out.payload_offset = header_len;
     out.payload_length = h.total_length - header_len;
 
     return util::checksum_valid(wire.subspan(0, header_len));
+}
+
+void decrement_ttl(std::span<std::uint8_t> wire) {
+    std::uint8_t* p = wire.data();
+    // TTL shares a 16-bit checksum word with the protocol field; ttl-1 in
+    // the high byte is a -0x0100 word delta the checksum absorbs without
+    // re-reading the other nine words.
+    const std::uint16_t old_word = load_u16(p + 8);
+    p[8] = static_cast<std::uint8_t>(p[8] - 1);
+    const std::uint16_t new_word = load_u16(p + 8);
+    store_u16(p + 10, util::checksum_update_u16(load_u16(p + 10), old_word, new_word));
 }
 
 }  // namespace catenet::ip

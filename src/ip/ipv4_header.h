@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 
+#include "util/buffer_pool.h"
 #include "util/byte_buffer.h"
 #include "util/ip_address.h"
 
@@ -43,6 +44,20 @@ struct Ipv4Header {
 /// total_length and the header checksum.
 util::ByteBuffer encode_datagram(const Ipv4Header& header,
                                  std::span<const std::uint8_t> payload);
+
+/// Pool-recycling variant: identical output bytes, but the wire buffer's
+/// capacity comes from (and should eventually return to) `pool`. The hot
+/// host-side send path — forwarding never encodes at all.
+util::ByteBuffer encode_datagram(const Ipv4Header& header,
+                                 std::span<const std::uint8_t> payload,
+                                 util::BufferPool& pool);
+
+/// The gateway's entire per-hop datagram rewrite, applied in place to a
+/// validated wire buffer: decrements TTL and patches the header checksum
+/// incrementally (RFC 1624). Produces bytes identical to re-serializing
+/// the decoded header with ttl-1 — see the fast-path property tests.
+/// Precondition: `wire` holds at least a full header and ttl >= 1.
+void decrement_ttl(std::span<std::uint8_t> wire);
 
 struct DecodedDatagram {
     Ipv4Header header;

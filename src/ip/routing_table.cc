@@ -1,49 +1,92 @@
 #include "ip/routing_table.h"
 
 #include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 
 namespace catenet::ip {
 
+RouteOrigin::Tag RouteOrigin::parse(std::string_view name) {
+    if (name == "connected") return Tag::Connected;
+    if (name == "static") return Tag::Static;
+    if (name == "dv") return Tag::Dv;
+    if (name == "egp") return Tag::Egp;
+    throw std::invalid_argument("unknown route origin: " + std::string(name));
+}
+
+std::ostream& operator<<(std::ostream& os, RouteOrigin origin) {
+    return os << origin.view();
+}
+
+Route* RoutingTable::acquire_node(const Route& route) {
+    if (!free_nodes_.empty()) {
+        Route* node = free_nodes_.back();
+        free_nodes_.pop_back();
+        *node = route;
+        return node;
+    }
+    arena_.push_back(route);
+    return &arena_.back();
+}
+
 void RoutingTable::install(const Route& route) {
-    auto it = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
-        return r.prefix == route.prefix;
+    auto it = std::find_if(ordered_.begin(), ordered_.end(), [&](const Route* r) {
+        return r->prefix == route.prefix;
     });
-    if (it != routes_.end()) {
-        *it = route;
+    if (it != ordered_.end()) {
+        **it = route;  // in place: interned pointers observe the update
+        ++generation_;
         return;
     }
     // Insert keeping descending-prefix-length order.
-    auto pos = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
-        return r.prefix.length() < route.prefix.length();
+    auto pos = std::find_if(ordered_.begin(), ordered_.end(), [&](const Route* r) {
+        return r->prefix.length() < route.prefix.length();
     });
-    routes_.insert(pos, route);
+    ordered_.insert(pos, acquire_node(route));
+    ++generation_;
 }
 
 bool RoutingTable::remove(const util::Ipv4Prefix& prefix) {
-    auto it = std::find_if(routes_.begin(), routes_.end(), [&](const Route& r) {
-        return r.prefix == prefix;
+    auto it = std::find_if(ordered_.begin(), ordered_.end(), [&](const Route* r) {
+        return r->prefix == prefix;
     });
-    if (it == routes_.end()) return false;
-    routes_.erase(it);
+    if (it == ordered_.end()) return false;
+    free_nodes_.push_back(*it);
+    ordered_.erase(it);
+    ++generation_;
     return true;
 }
 
-void RoutingTable::remove_by_origin(const std::string& origin) {
-    std::erase_if(routes_, [&](const Route& r) { return r.origin == origin; });
+void RoutingTable::remove_by_origin(std::string_view origin) {
+    const std::size_t before = ordered_.size();
+    std::erase_if(ordered_, [&](Route* r) {
+        if (r->origin != origin) return false;
+        free_nodes_.push_back(r);
+        return true;
+    });
+    if (ordered_.size() != before) ++generation_;
 }
 
-std::optional<Route> RoutingTable::lookup(util::Ipv4Address dst) const {
-    for (const Route& r : routes_) {
-        if (r.prefix.contains(dst)) return r;
+RouteRef RoutingTable::lookup(util::Ipv4Address dst) const {
+    for (const Route* r : ordered_) {
+        if (r->prefix.contains(dst)) return RouteRef(r);
     }
-    return std::nullopt;
+    return RouteRef();
 }
 
-std::optional<Route> RoutingTable::find(const util::Ipv4Prefix& prefix) const {
-    for (const Route& r : routes_) {
-        if (r.prefix == prefix) return r;
+RouteRef RoutingTable::find(const util::Ipv4Prefix& prefix) const {
+    for (const Route* r : ordered_) {
+        if (r->prefix == prefix) return RouteRef(r);
     }
-    return std::nullopt;
+    return RouteRef();
+}
+
+std::vector<Route> RoutingTable::routes() const {
+    std::vector<Route> snapshot;
+    snapshot.reserve(ordered_.size());
+    for (const Route* r : ordered_) snapshot.push_back(*r);
+    return snapshot;
 }
 
 }  // namespace catenet::ip

@@ -1,16 +1,72 @@
 // Longest-prefix-match forwarding table. Shared by hosts (usually one
 // connected route plus a default) and gateways (populated statically or by
 // the routing protocols in src/routing/).
+//
+// Built for the forwarding hot path: routes are interned in a stable arena
+// so lookup() hands out a pointer (no Route copy, no string copy per
+// packet), and a generation counter — bumped on every mutation — lets
+// callers layer soft-state caches on top that can never serve a stale
+// route (see IpStack's destination cache).
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <string>
+#include <deque>
+#include <iosfwd>
+#include <string_view>
 #include <vector>
 
 #include "util/ip_address.h"
 
 namespace catenet::ip {
+
+/// Provenance of an installed route: who put it there. Distributed-
+/// management experiments audit this; flush_routes() keys off it. A small
+/// tag rather than a string so that Route is trivially copyable and a
+/// per-packet lookup never touches the heap.
+class RouteOrigin {
+public:
+    enum class Tag : std::uint8_t { Connected, Static, Dv, Egp };
+
+    constexpr RouteOrigin() noexcept = default;  ///< "static"
+    constexpr RouteOrigin(Tag tag) noexcept : tag_(tag) {}  // NOLINT(google-explicit-constructor)
+    /// Named construction keeps the seed's string-based call sites
+    /// (`route.origin = "dv"`) working; unknown names throw.
+    RouteOrigin(std::string_view name) : tag_(parse(name)) {}  // NOLINT(google-explicit-constructor)
+    RouteOrigin(const char* name) : tag_(parse(name)) {}  // NOLINT(google-explicit-constructor)
+
+    constexpr Tag tag() const noexcept { return tag_; }
+
+    constexpr std::string_view view() const noexcept {
+        switch (tag_) {
+            case Tag::Connected: return "connected";
+            case Tag::Static: return "static";
+            case Tag::Dv: return "dv";
+            case Tag::Egp: return "egp";
+        }
+        return "static";
+    }
+
+    friend constexpr bool operator==(RouteOrigin a, RouteOrigin b) noexcept {
+        return a.tag_ == b.tag_;
+    }
+    // Exact-type overloads so `origin == "dv"` is unambiguous (both
+    // RouteOrigin and string_view are one implicit conversion away from a
+    // string literal). Comparing against an unknown name is false, not an
+    // error — remove_by_origin("bogus") must be a harmless no-op.
+    friend constexpr bool operator==(RouteOrigin a, std::string_view b) noexcept {
+        return a.view() == b;
+    }
+    friend constexpr bool operator==(RouteOrigin a, const char* b) noexcept {
+        return a.view() == std::string_view(b);
+    }
+
+private:
+    static Tag parse(std::string_view name);
+
+    Tag tag_ = Tag::Static;
+};
+
+std::ostream& operator<<(std::ostream& os, RouteOrigin origin);
 
 struct Route {
     util::Ipv4Prefix prefix;
@@ -20,34 +76,72 @@ struct Route {
     std::size_t ifindex = 0;
     /// Routing-protocol metric (hop count for DV); 0 for connected/static.
     std::uint32_t metric = 0;
-    /// Provenance tag: "connected", "static", "dv", "egp". Distributed-
-    /// management experiments use this to audit who installed what.
-    std::string origin = "static";
+    RouteOrigin origin;
+};
+
+/// What lookup()/find() return: a nullable reference to an interned Route.
+/// Pointer-shaped (one word, no copy) but optional-flavored so call sites
+/// written against the seed's std::optional<Route> keep reading naturally.
+/// The pointee lives as long as the table and is updated in place when the
+/// same prefix is re-installed.
+class RouteRef {
+public:
+    constexpr RouteRef() noexcept = default;
+    constexpr explicit RouteRef(const Route* route) noexcept : route_(route) {}
+
+    constexpr bool has_value() const noexcept { return route_ != nullptr; }
+    constexpr explicit operator bool() const noexcept { return route_ != nullptr; }
+    constexpr const Route* operator->() const noexcept { return route_; }
+    constexpr const Route& operator*() const noexcept { return *route_; }
+    constexpr const Route* get() const noexcept { return route_; }
+
+private:
+    const Route* route_ = nullptr;
 };
 
 class RoutingTable {
 public:
-    /// Installs or replaces the route for exactly this prefix.
+    /// Installs or replaces the route for exactly this prefix. A replaced
+    /// route is updated in place: pointers previously returned for the
+    /// prefix stay valid and observe the new contents.
     void install(const Route& route);
 
     /// Removes the route for exactly this prefix; returns whether found.
     bool remove(const util::Ipv4Prefix& prefix);
 
     /// Removes every route whose origin matches (e.g. flush "dv" routes).
-    void remove_by_origin(const std::string& origin);
+    void remove_by_origin(std::string_view origin);
 
-    /// Longest-prefix match.
-    std::optional<Route> lookup(util::Ipv4Address dst) const;
+    /// Longest-prefix match. The referenced Route is interned: valid for
+    /// the table's lifetime, never copied per lookup.
+    RouteRef lookup(util::Ipv4Address dst) const;
 
     /// Exact-prefix fetch (for routing protocols comparing metrics).
-    std::optional<Route> find(const util::Ipv4Prefix& prefix) const;
+    RouteRef find(const util::Ipv4Prefix& prefix) const;
 
-    const std::vector<Route>& routes() const noexcept { return routes_; }
-    std::size_t size() const noexcept { return routes_.size(); }
+    /// Snapshot of the table in longest-prefix-first order.
+    std::vector<Route> routes() const;
+
+    std::size_t size() const noexcept { return ordered_.size(); }
+
+    /// Bumped by every mutation (install, remove, remove_by_origin) that
+    /// changes the table. Soft-state caches compare generations instead of
+    /// registering invalidation hooks: a stale cache line is simply one
+    /// whose generation no longer matches, and dropping it costs one LPM.
+    std::uint64_t generation() const noexcept { return generation_; }
 
 private:
-    // Kept sorted by descending prefix length so lookup is first-match.
-    std::vector<Route> routes_;
+    Route* acquire_node(const Route& route);
+
+    /// Interned storage: a deque never moves elements, and removed nodes
+    /// go to a free list rather than back to the allocator, so a Route*
+    /// stays dereferenceable for the table's lifetime no matter what is
+    /// installed or removed after it.
+    std::deque<Route> arena_;
+    std::vector<Route*> free_nodes_;
+    /// Sorted by descending prefix length so lookup is first-match.
+    std::vector<Route*> ordered_;
+    std::uint64_t generation_ = 1;
 };
 
 }  // namespace catenet::ip

@@ -10,11 +10,14 @@ namespace {
 // Link-layer framing on the LAN: 2-byte destination port, then payload.
 constexpr std::size_t kFrameHeader = 2;
 
+// Frames in place: the two header bytes are inserted at the front of the
+// existing buffer rather than rebuilding it through a BufferWriter, so a
+// pooled buffer keeps its identity (and, after first growth, its
+// capacity) across the encode -> frame -> deliver -> strip cycle.
 Packet frame_packet(Packet packet, std::uint16_t dst_port) {
-    util::BufferWriter w(packet.size() + kFrameHeader);
-    w.put_u16(dst_port);
-    w.put_bytes(packet.bytes);
-    packet.bytes = w.take();
+    const std::uint8_t hi = static_cast<std::uint8_t>(dst_port >> 8);
+    const std::uint8_t lo = static_cast<std::uint8_t>(dst_port & 0xff);
+    packet.bytes.insert(packet.bytes.begin(), {hi, lo});
     return packet;
 }
 
@@ -32,6 +35,7 @@ public:
     void send(Packet packet, util::Ipv4Address next_hop) override {
         if (!up_ || !lan_.up_) {
             ++stats_.send_failures;
+            lan_.sim_.buffer_pool().recycle(std::move(packet.bytes));
             return;
         }
         std::uint16_t dst = kBroadcastPort;
@@ -41,6 +45,7 @@ public:
                 // Unresolvable next hop: a real LAN would ARP and fail;
                 // we count it and drop.
                 ++stats_.send_failures;
+                lan_.sim_.buffer_pool().recycle(std::move(packet.bytes));
                 return;
             }
             dst = static_cast<std::uint16_t>(it->second);
@@ -55,6 +60,7 @@ public:
             frame.bytes.erase(frame.bytes.begin(),
                               frame.bytes.begin() + static_cast<std::ptrdiff_t>(kFrameHeader));
             notify_drop(frame);
+            lan_.sim_.buffer_pool().recycle(std::move(frame.bytes));
             return;
         }
         ++stats_.packets_sent;
@@ -85,6 +91,16 @@ private:
 
 Lan::Lan(sim::Simulator& sim, util::Rng& parent_rng, const LanParams& params, std::string name)
     : sim_(sim), rng_(parent_rng.fork()), params_(params), name_(std::move(name)) {}
+
+Lan::Flight* Lan::acquire_flight() {
+    if (free_flights_ != nullptr) {
+        Flight* f = free_flights_;
+        free_flights_ = f->next_free;
+        return f;
+    }
+    flights_.push_back(std::make_unique<Flight>());
+    return flights_.back().get();
+}
 
 Lan::~Lan() = default;
 
@@ -137,10 +153,21 @@ void Lan::medium_idle() {
         const sim::Time tx = sim::Time(static_cast<std::int64_t>(
             static_cast<double>(frame->size()) * 8.0 /
             static_cast<double>(params_.bits_per_second) * 1e9));
-        auto pkt = std::make_shared<Packet>(std::move(*frame));
-        sim_.schedule_after(tx + params_.propagation_delay, [this, src, pkt] {
+        // Frames in flight ride free-listed nodes rather than heap-allocated
+        // shared_ptrs: a forwarding station can re-enter medium_idle() from
+        // inside a delivery, so more than one frame can be in flight at once
+        // and each needs its own slot.
+        Flight* flight = acquire_flight();
+        flight->packet = std::move(*frame);
+        sim_.schedule_after(tx + params_.propagation_delay, [this, src, flight] {
             medium_busy_ = false;
-            if (up_) deliver_frame(src, std::move(*pkt));
+            Packet delivered = std::move(flight->packet);
+            release_flight(flight);
+            if (up_) {
+                deliver_frame(src, std::move(delivered));
+            } else {
+                sim_.buffer_pool().recycle(std::move(delivered.bytes));
+            }
             // If the source's queue drained, retire it from the backlog.
             if (!backlog_.empty() && ports_[backlog_.front()]->queue().empty()) {
                 backlog_.erase(backlog_.begin());
@@ -159,6 +186,7 @@ void Lan::medium_idle() {
 void Lan::deliver_frame(std::size_t src_port, Packet frame) {
     if (rng_.chance(params_.drop_probability)) {
         ++channel_stats_.packets_lost;
+        sim_.buffer_pool().recycle(std::move(frame.bytes));
         return;
     }
     util::BufferReader r(frame.bytes);
@@ -169,8 +197,11 @@ void Lan::deliver_frame(std::size_t src_port, Packet frame) {
             Packet copy = frame;
             ports_[i]->receive_frame(std::move(copy));
         }
+        sim_.buffer_pool().recycle(std::move(frame.bytes));
     } else if (dst < ports_.size() && dst != src_port) {
         ports_[dst]->receive_frame(std::move(frame));
+    } else {
+        sim_.buffer_pool().recycle(std::move(frame.bytes));
     }
 }
 

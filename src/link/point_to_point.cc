@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace catenet::link {
 
@@ -22,16 +23,31 @@ public:
     void send(Packet packet, util::Ipv4Address /*next_hop*/) override {
         if (!up_ || !link_.up_) {
             ++stats_.send_failures;
+            link_.sim_.buffer_pool().recycle(std::move(packet.bytes));
             return;
         }
-        packet.enqueued = link_.sim_.now();
+        const sim::Time now = link_.sim_.now();
+        packet.enqueued = now;
+        if (now >= busy_until_ && queue_->empty()) {
+            // Idle wire, no backlog: any discipline would hand this exact
+            // packet straight back, so it skips the queue entirely.
+            transmit(std::move(packet));
+            return;
+        }
         // PacketQueue contract: on rejection the argument is untouched, so
         // the drop observer can still inspect it.
         if (!queue_->enqueue(std::move(packet))) {
             notify_drop(packet);
+            link_.sim_.buffer_pool().recycle(std::move(packet.bytes));
             return;
         }
-        if (!transmitting_) start_transmission();
+        if (now >= busy_until_) {
+            start_transmission();
+        } else if (!kick_scheduled_) {
+            // The wire is mid-serialization; wake up exactly when it frees.
+            kick_scheduled_ = true;
+            link_.sim_.schedule_after(busy_until_ - now, [this] { kick(); });
+        }
     }
 
     void set_up(bool up) override {
@@ -48,47 +64,88 @@ public:
     void receive_from_peer(Packet packet) { deliver(std::move(packet)); }
 
 private:
+    // Clocks the head-of-queue packet onto the wire. The serialization and
+    // propagation phases collapse into ONE scheduled event: channel
+    // outcomes (loss, corruption, jitter) are drawn at transmission start
+    // and delivery lands at now + tx + propagation. A separate wake-up
+    // ("kick") at busy_until_ is scheduled only when a backlog actually
+    // exists, so the uncongested fast path costs a single event per hop.
     void start_transmission() {
         auto next = queue_->dequeue();
         if (!next) return;
-        transmitting_ = true;
-        const auto tx = params_.transmission_time(next->size());
-        // Capture by shared_ptr: the packet outlives this scope until the
-        // delivery event fires.
-        auto pkt = std::make_shared<Packet>(std::move(*next));
-        link_.sim_.schedule_after(tx, [this, pkt] {
-            finish_transmission(std::move(*pkt));
-        });
-        ++stats_.packets_sent;
-        stats_.bytes_sent += pkt->size();
-    }
-
-    void finish_transmission(Packet packet) {
-        transmitting_ = false;
-        propagate(std::move(packet));
-        start_transmission();  // clock out the next queued packet, if any
-    }
-
-    void propagate(Packet packet) {
-        if (!link_.up_) {
-            // In-flight at the moment of failure: lost.
-            ++channel_stats_.packets_lost;
-            return;
+        transmit(std::move(*next));
+        if (!queue_->empty() && !kick_scheduled_) {
+            kick_scheduled_ = true;
+            link_.sim_.schedule_after(busy_until_ - link_.sim_.now(), [this] { kick(); });
         }
+    }
+
+    void transmit(Packet packet) {
+        const auto tx = params_.transmission_time(packet.size());
+        busy_until_ = link_.sim_.now() + tx;
+        ++stats_.packets_sent;
+        stats_.bytes_sent += packet.size();
         if (link_.rng_.chance(params_.drop_probability)) {
             ++channel_stats_.packets_lost;
+            link_.sim_.buffer_pool().recycle(std::move(packet.bytes));
             return;
         }
         maybe_corrupt(packet);
-        sim::Time delay = params_.propagation_delay;
+        sim::Time delay = tx + params_.propagation_delay;
         if (params_.jitter > sim::Time(0)) {
             delay += sim::Time(static_cast<std::int64_t>(
                 link_.rng_.uniform(0, static_cast<std::uint64_t>(params_.jitter.nanos()))));
         }
-        auto pkt = std::make_shared<Packet>(std::move(packet));
-        link_.sim_.schedule_after(delay, [this, pkt] {
-            if (peer_ != nullptr && link_.up_) peer_->receive_from_peer(std::move(*pkt));
+        Flight* flight = acquire_flight();
+        flight->packet = std::move(packet);
+        link_.sim_.schedule_after(delay, [this, flight] {
+            Packet delivered = std::move(flight->packet);
+            release_flight(flight);
+            if (peer_ != nullptr && link_.up_) {
+                peer_->receive_from_peer(std::move(delivered));
+            } else {
+                // In flight when the link failed: lost on the wire.
+                ++channel_stats_.packets_lost;
+                link_.sim_.buffer_pool().recycle(std::move(delivered.bytes));
+            }
         });
+    }
+
+    void kick() {
+        kick_scheduled_ = false;
+        const sim::Time now = link_.sim_.now();
+        if (now >= busy_until_) {
+            start_transmission();
+        } else if (!queue_->empty()) {
+            // A same-timestamp send beat us to the wire; chase the new
+            // busy horizon.
+            kick_scheduled_ = true;
+            link_.sim_.schedule_after(busy_until_ - now, [this] { kick(); });
+        }
+    }
+
+    // Packets concurrently propagating toward the peer. Nodes are recycled
+    // through a free list, so the steady state allocates nothing; storage
+    // is owned here and outlives every scheduled delivery (the link always
+    // outlives its simulation run).
+    struct Flight {
+        Packet packet;
+        Flight* next_free = nullptr;
+    };
+
+    Flight* acquire_flight() {
+        if (free_flights_ != nullptr) {
+            Flight* f = free_flights_;
+            free_flights_ = f->next_free;
+            return f;
+        }
+        flights_.push_back(std::make_unique<Flight>());
+        return flights_.back().get();
+    }
+
+    void release_flight(Flight* f) noexcept {
+        f->next_free = free_flights_;
+        free_flights_ = f;
     }
 
     void maybe_corrupt(Packet& packet) {
@@ -111,7 +168,10 @@ private:
     std::string name_;
     std::unique_ptr<PacketQueue> queue_;
     Port* peer_ = nullptr;
-    bool transmitting_ = false;
+    sim::Time busy_until_;        ///< the wire is serializing until this time
+    bool kick_scheduled_ = false; ///< a wake-up at busy_until_ is pending
+    std::vector<std::unique_ptr<Flight>> flights_;
+    Flight* free_flights_ = nullptr;
     ChannelStats channel_stats_;
 };
 

@@ -24,10 +24,16 @@ struct LinkParams {
     std::size_t mtu = 1500;
     std::size_t queue_capacity_packets = 64;
 
-    /// Time to clock `bytes` onto the wire at this rate.
+    /// Time to clock `bytes` onto the wire at this rate. Exact 64-bit
+    /// integer ceiling — a partial nanosecond still occupies the wire — so
+    /// serialization delay is deterministic and precise at any rate (the
+    /// old double round-trip truncated and lost low bits above ~4 Gb/s).
+    /// No overflow: bytes*8e9 <= 65537*8e9 < 2^63 for any IP datagram.
     sim::Time transmission_time(std::size_t bytes) const {
-        return sim::Time(static_cast<std::int64_t>(
-            static_cast<double>(bytes) * 8.0 / static_cast<double>(bits_per_second) * 1e9));
+        const auto bits = static_cast<std::uint64_t>(bytes) * 8u;
+        const auto ns =
+            (bits * 1'000'000'000ull + bits_per_second - 1) / bits_per_second;
+        return sim::Time(static_cast<std::int64_t>(ns));
     }
 };
 

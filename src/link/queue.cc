@@ -4,12 +4,12 @@
 
 namespace catenet::link {
 
-DropTailQueue::DropTailQueue(std::size_t capacity_packets) : capacity_(capacity_packets) {
-    if (capacity_ == 0) throw std::invalid_argument("DropTailQueue: zero capacity");
+DropTailQueue::DropTailQueue(std::size_t capacity_packets) : slots_(capacity_packets) {
+    if (capacity_packets == 0) throw std::invalid_argument("DropTailQueue: zero capacity");
 }
 
 bool DropTailQueue::enqueue(Packet&& packet) {
-    if (q_.size() >= capacity_) {
+    if (count_ == slots_.size()) {
         ++stats_.dropped;
         stats_.bytes_dropped += packet.size();
         return false;
@@ -17,21 +17,29 @@ bool DropTailQueue::enqueue(Packet&& packet) {
     ++stats_.enqueued;
     stats_.bytes_enqueued += packet.size();
     bytes_ += packet.size();
-    q_.push_back(std::move(packet));
+    // head_ and count_ are both < size, so one conditional subtract wraps
+    // the ring — no integer division on the per-packet path.
+    std::size_t tail = head_ + count_;
+    if (tail >= slots_.size()) tail -= slots_.size();
+    slots_[tail] = std::move(packet);
+    ++count_;
     return true;
 }
 
 std::optional<Packet> DropTailQueue::dequeue() {
-    if (q_.empty()) return std::nullopt;
-    Packet p = std::move(q_.front());
-    q_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    Packet p = std::move(slots_[head_]);
+    if (++head_ == slots_.size()) head_ = 0;
+    --count_;
     bytes_ -= p.size();
     ++stats_.dequeued;
     return p;
 }
 
 void DropTailQueue::clear() {
-    q_.clear();
+    for (auto& slot : slots_) slot = Packet{};  // release buffers, keep slots
+    head_ = 0;
+    count_ = 0;
     bytes_ = 0;
 }
 

@@ -47,19 +47,25 @@ protected:
 };
 
 /// FIFO with a packet-count cap; the classic 1988 gateway buffer.
+/// Implemented as a fixed ring over preallocated slots: the bounded
+/// capacity is the whole point of the discipline, so the hot
+/// enqueue/dequeue cycle never touches the allocator (a deque allocates
+/// and frees a block every few packets as the ring of use crosses block
+/// boundaries).
 class DropTailQueue final : public PacketQueue {
 public:
     explicit DropTailQueue(std::size_t capacity_packets);
 
     bool enqueue(Packet&& packet) override;
     std::optional<Packet> dequeue() override;
-    std::size_t packets() const noexcept override { return q_.size(); }
+    std::size_t packets() const noexcept override { return count_; }
     std::size_t bytes() const noexcept override { return bytes_; }
     void clear() override;
 
 private:
-    std::size_t capacity_;
-    std::deque<Packet> q_;
+    std::vector<Packet> slots_;  ///< fixed size = capacity, ring-indexed
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::size_t bytes_ = 0;
 };
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/buffer_pool.h"
 #include "util/inline_function.h"
 
 namespace catenet::sim {
@@ -108,6 +109,13 @@ public:
     /// like). Part of the deterministic replay state: same scenario, same
     /// ids — and independent scenarios in one process never share it.
     std::uint64_t next_uid() noexcept { return ++last_uid_; }
+
+    /// Per-simulation recycling pool for packet wire buffers. Every stack
+    /// and link in a scenario shares it, so a datagram retired at one node
+    /// funds the next datagram encoded at another. Scoped to the Simulator
+    /// for the same reason as next_uid(): scenarios in one process must
+    /// not share mutable state.
+    util::BufferPool& buffer_pool() noexcept { return buffer_pool_; }
 
 private:
     static constexpr std::uint32_t kNilSlot = 0xffffffffu;
@@ -231,6 +239,7 @@ private:
     std::uint64_t next_seq_ = 1;
     std::uint64_t events_processed_ = 0;
     std::uint64_t last_uid_ = 0;
+    util::BufferPool buffer_pool_;
 };
 
 }  // namespace catenet::sim

@@ -1,54 +1,20 @@
 #include "util/checksum.h"
 
-#include <bit>
-#include <cstring>
-
 namespace catenet::util {
 
-void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) {
-    // Word-at-a-time per RFC 1071 §2(A) "deferred carries": the
-    // one's-complement sum of 16-bit words can be computed by summing
-    // wider words in a still-wider accumulator and folding once at the
-    // end. Each 8-byte chunk is loaded, normalized to big-endian so the
-    // 16-bit columns line up with the wire words, and added as two 32-bit
-    // halves — each at most 2^32-1, so the 64-bit accumulator has room
-    // for billions of chunks before finish() folds the carries back.
-    std::size_t i = 0;
-    const std::size_t n = bytes.size();
-    for (; i + 8 <= n; i += 8) {
-        std::uint64_t chunk;
-        std::memcpy(&chunk, bytes.data() + i, 8);
-        if constexpr (std::endian::native == std::endian::little) {
-            chunk = __builtin_bswap64(chunk);  // std::byteswap is C++23
-        }
-        sum_ += (chunk >> 32) + (chunk & 0xffffffffu);
+std::uint16_t checksum_update_u16(std::uint16_t checksum, std::uint16_t old_word,
+                                  std::uint16_t new_word) {
+    // RFC 1624 fixes RFC 1141's -0 bug by complementing *into* the sum:
+    // ~HC folds back to the one's-complement sum of the old buffer, the
+    // word swap adjusts it, and complementing out cannot yield the +0/-0
+    // confusion the subtraction form had.
+    std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+    sum += static_cast<std::uint16_t>(~old_word);
+    sum += new_word;
+    while (sum >> 16) {
+        sum = (sum & 0xffff) + (sum >> 16);
     }
-    for (; i + 1 < n; i += 2) {
-        sum_ += static_cast<std::uint16_t>((bytes[i] << 8) | bytes[i + 1]);
-    }
-    if (i < n) {
-        sum_ += static_cast<std::uint16_t>(bytes[i] << 8);
-    }
-}
-
-std::uint16_t ChecksumAccumulator::finish() const {
-    std::uint64_t s = sum_;
-    while (s >> 16) {
-        s = (s & 0xffff) + (s >> 16);
-    }
-    return static_cast<std::uint16_t>(~s & 0xffff);
-}
-
-std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
-    ChecksumAccumulator acc;
-    acc.add(bytes);
-    return acc.finish();
-}
-
-bool checksum_valid(std::span<const std::uint8_t> bytes) {
-    // A buffer containing a correct checksum sums (one's complement) to
-    // 0xffff, so the folded complement is zero.
-    return internet_checksum(bytes) == 0;
+    return static_cast<std::uint16_t>(~sum & 0xffff);
 }
 
 std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,

@@ -5,7 +5,9 @@
 // genuinely missed — the same blind spots real networks have).
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 #include "util/ip_address.h"
@@ -14,11 +16,39 @@ namespace catenet::util {
 
 /// Incremental one's-complement sum. Feed any number of byte ranges, then
 /// call `finish()` for the checksum value to place in the packet.
+/// Defined inline: every forwarded datagram sums its header on receive and
+/// every encode sums it on send, so the common 20-byte case must compile
+/// to straight-line code at the call site.
 class ChecksumAccumulator {
 public:
     /// Adds a byte range. Ranges may be fed in any chunking as long as each
     /// chunk except the last has even length (standard RFC 1071 property).
-    void add(std::span<const std::uint8_t> bytes);
+    void add(std::span<const std::uint8_t> bytes) {
+        // Word-at-a-time per RFC 1071 §2(A) "deferred carries": the
+        // one's-complement sum of 16-bit words can be computed by summing
+        // wider words in a still-wider accumulator and folding once at the
+        // end. Each 8-byte chunk is loaded, normalized to big-endian so the
+        // 16-bit columns line up with the wire words, and added as two
+        // 32-bit halves — each at most 2^32-1, so the 64-bit accumulator
+        // has room for billions of chunks before finish() folds the
+        // carries back.
+        std::size_t i = 0;
+        const std::size_t n = bytes.size();
+        for (; i + 8 <= n; i += 8) {
+            std::uint64_t chunk;
+            std::memcpy(&chunk, bytes.data() + i, 8);
+            if constexpr (std::endian::native == std::endian::little) {
+                chunk = __builtin_bswap64(chunk);  // std::byteswap is C++23
+            }
+            sum_ += (chunk >> 32) + (chunk & 0xffffffffu);
+        }
+        for (; i + 1 < n; i += 2) {
+            sum_ += static_cast<std::uint16_t>((bytes[i] << 8) | bytes[i + 1]);
+        }
+        if (i < n) {
+            sum_ += static_cast<std::uint16_t>(bytes[i] << 8);
+        }
+    }
 
     /// Adds a single 16-bit value in host order.
     void add_u16(std::uint16_t v) { sum_ += v; }
@@ -30,18 +60,41 @@ public:
     }
 
     /// Folds carries and returns the one's complement of the sum.
-    std::uint16_t finish() const;
+    std::uint16_t finish() const {
+        std::uint64_t s = sum_;
+        while (s >> 16) {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        return static_cast<std::uint16_t>(~s & 0xffff);
+    }
 
 private:
     std::uint64_t sum_ = 0;
 };
 
 /// One-shot checksum of a byte range.
-std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+inline std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+    ChecksumAccumulator acc;
+    acc.add(bytes);
+    return acc.finish();
+}
 
 /// Verifies a buffer whose checksum field is already in place: the sum of
 /// the whole buffer (including the checksum) must fold to 0.
-bool checksum_valid(std::span<const std::uint8_t> bytes);
+inline bool checksum_valid(std::span<const std::uint8_t> bytes) {
+    // A buffer containing a correct checksum sums (one's complement) to
+    // 0xffff, so the folded complement is zero.
+    return internet_checksum(bytes) == 0;
+}
+
+/// Incremental update per RFC 1624 eqn. 3: given a buffer's checksum and
+/// one 16-bit word changing from `old_word` to `new_word`, returns the new
+/// checksum — HC' = ~(~HC + ~m + m') — without re-reading the buffer.
+/// Matches a full RFC 1071 recompute bit-for-bit (including the
+/// 0x0000/0xffff representations), provided the input checksum was itself
+/// correct for the old contents.
+std::uint16_t checksum_update_u16(std::uint16_t checksum, std::uint16_t old_word,
+                                  std::uint16_t new_word);
 
 /// Checksum for TCP/UDP: includes the RFC 793/768 pseudo-header of source
 /// address, destination address, protocol and segment length.

@@ -124,15 +124,19 @@ struct TcpPair : ::testing::Test {
             [server](std::shared_ptr<TcpSocket> s) {
                 ++server->accepted;
                 server->socket = s;
-                s->on_data = [server](std::span<const std::uint8_t> data) {
-                    server->received.insert(server->received.end(), data.begin(),
-                                            data.end());
+                // Socket callbacks capture the Server raw: a strong capture
+                // would cycle (socket -> callback -> Server -> socket) and
+                // leak both. servers_ keeps the Server alive.
+                Server* srv = server.get();
+                s->on_data = [srv](std::span<const std::uint8_t> data) {
+                    srv->received.insert(srv->received.end(), data.begin(),
+                                         data.end());
                 };
-                s->on_remote_close = [server] {
-                    server->remote_closed = true;
-                    server->socket->close();
+                s->on_remote_close = [srv] {
+                    srv->remote_closed = true;
+                    srv->socket->close();
                 };
-                s->on_closed = [server] { server->closed = true; };
+                s->on_closed = [srv] { srv->closed = true; };
             },
             config);
         servers_.push_back(server);
@@ -487,8 +491,9 @@ TEST_P(TcpCorruptionProperty, CorruptionNeverReachesTheApplication) {
     constexpr std::size_t kBytes = 32 * 1024;
     util::ByteBuffer received;
     b.tcp().listen(80, [&](std::shared_ptr<TcpSocket> s) {
-        auto holder = s;
-        s->on_data = [&received, holder](std::span<const std::uint8_t> d) {
+        // No self-capture: the stack keeps the accepted socket alive while
+        // it can deliver; a strong capture here would leak it via a cycle.
+        s->on_data = [&received](std::span<const std::uint8_t> d) {
             received.insert(received.end(), d.begin(), d.end());
         };
     });

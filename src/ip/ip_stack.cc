@@ -18,9 +18,9 @@ IpStack::IpStack(sim::Simulator& sim, std::string name)
 std::size_t IpStack::add_interface(link::NetIf& netif, util::Ipv4Address addr,
                                    util::Ipv4Prefix subnet) {
     const std::size_t ifindex = interfaces_.size();
-    interfaces_.push_back(Interface{&netif, addr, subnet});
+    interfaces_.push_back(Interface{&netif, addr, subnet, netif.mtu()});
     netif.set_address(addr);
-    netif.set_receiver([this, ifindex](link::Packet packet) {
+    netif.set_receiver([this, ifindex](link::Packet&& packet) {
         receive(ifindex, std::move(packet));
     });
     Route connected;
@@ -121,6 +121,58 @@ bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
     ++stats_.datagrams_sent;
     if (trace_) trace_("tx", header, kIpv4HeaderSize + payload.size());
     return transmit(header, payload, *route);
+}
+
+bool IpStack::send_with_headroom(std::uint8_t protocol, util::Ipv4Address dst,
+                                 util::ByteBuffer&& wire, const SendOptions& options) {
+    const std::span<const std::uint8_t> payload =
+        std::span<const std::uint8_t>(wire).subspan(
+            std::min(wire.size(), kIpv4HeaderSize));
+
+    // Loopback and fragmentation both need the payload as a plain span, so
+    // they reuse the copying machinery; only the fits-the-MTU unicast case
+    // below earns the in-place rewrite, and that is the entire hot path.
+    if (down_ || is_local_address(dst)) {
+        const bool ok = send(protocol, dst, payload, options);
+        sim_.buffer_pool().recycle(std::move(wire));
+        return ok;
+    }
+
+    const Route* route = lookup_route(dst);
+    if (route == nullptr) {
+        ++stats_.dropped_no_route;
+        sim_.buffer_pool().recycle(std::move(wire));
+        return false;
+    }
+    auto& iface = interfaces_.at(route->ifindex);
+    Ipv4Header header;
+    header.protocol = protocol;
+    header.tos = options.tos;
+    header.ttl = options.ttl;
+    header.dont_fragment = options.dont_fragment;
+    header.identification = next_identification_++;
+    header.src = options.source.is_unspecified() ? iface.address : options.source;
+    header.dst = dst;
+
+    ++stats_.datagrams_sent;
+    if (trace_) trace_("tx", header, wire.size());
+    if (!iface.netif->is_up()) {
+        ++stats_.dropped_iface_down;
+        sim_.buffer_pool().recycle(std::move(wire));
+        return false;
+    }
+    if (wire.size() > iface.netif->mtu()) {
+        // Must fragment: per-fragment encodes, then retire the big buffer.
+        const bool ok = header.dont_fragment ? false : transmit(header, payload, *route);
+        sim_.buffer_pool().recycle(std::move(wire));
+        return ok;
+    }
+
+    write_ipv4_header(wire, header, wire.size());
+    const util::Ipv4Address next_hop =
+        route->next_hop.is_unspecified() ? dst : route->next_hop;
+    iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
+    return true;
 }
 
 void IpStack::set_source_quench(bool on, sim::Time min_interval) {
@@ -308,15 +360,12 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
         return;
     }
 
-    auto& iface = interfaces_.at(route->ifindex);
-    const std::size_t mtu = iface.netif->mtu();
+    const Interface& iface = interfaces_[route->ifindex];
+    const std::size_t mtu = iface.mtu;
     if (header.dont_fragment && std::size_t{header.total_length} > mtu) {
         send_icmp_error(IcmpType::DestinationUnreachable, kUnreachFragNeeded, wire);
         return;
     }
-
-    Ipv4Header out = header;
-    out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
 
     // Fast path — the overwhelmingly common shape: no IP options, no link
     // trailer, fits the egress MTU. The datagram is never re-serialized:
@@ -335,10 +384,19 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
         decrement_ttl(packet.bytes);
         iface.netif->send(std::move(packet), next_hop);
         ++stats_.forwarded;
-        if (trace_) trace_("fwd", out, wire_bytes);
-        if (forward_tap_) forward_tap_(out, wire_bytes);
+        if (trace_ || forward_tap_) {
+            // Observers want the header as sent; built only when someone
+            // is actually watching.
+            Ipv4Header out = header;
+            out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
+            if (trace_) trace_("fwd", out, wire_bytes);
+            if (forward_tap_) forward_tap_(out, wire_bytes);
+        }
         return;
     }
+
+    Ipv4Header out = header;
+    out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
 
     // Slow path (IP options, link padding, or fragmentation ahead): decode
     // and re-serialize exactly as the seed did.

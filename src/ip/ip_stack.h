@@ -119,6 +119,17 @@ public:
     bool send(std::uint8_t protocol, util::Ipv4Address dst,
               std::span<const std::uint8_t> payload, const SendOptions& options = {});
 
+    /// Zero-copy transport hand-off: `wire` already holds kIpv4HeaderSize
+    /// bytes of headroom followed by the complete transport segment. The
+    /// IPv4 header is written in place over the headroom and the buffer
+    /// moves straight to the egress link — no re-serialization, no copy.
+    /// Falls back to the copying path when the datagram must fragment;
+    /// recycles the buffer to the simulator pool on every failure return,
+    /// so the caller never owns it afterwards. Failure conditions match
+    /// send().
+    bool send_with_headroom(std::uint8_t protocol, util::Ipv4Address dst,
+                            util::ByteBuffer&& wire, const SendOptions& options = {});
+
     /// Sends a payload as a link-local broadcast (dst 255.255.255.255)
     /// directly out one interface. Broadcasts are delivered to every node
     /// on that network and never forwarded — the routing protocols use
@@ -160,6 +171,10 @@ private:
         link::NetIf* netif;
         util::Ipv4Address address;
         util::Ipv4Prefix subnet;
+        // Cached at attach time: an interface's MTU is fixed by its link
+        // parameters for life, and the forwarding fast path reads it per
+        // datagram — no reason to pay a virtual call for a constant.
+        std::size_t mtu;
     };
 
     // One line of the destination→route cache: pure soft state in the

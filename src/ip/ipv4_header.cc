@@ -31,14 +31,24 @@ inline void store_u32(std::uint8_t* p, std::uint32_t v) noexcept {
 void write_datagram(util::ByteBuffer& out, const Ipv4Header& header,
                     std::span<const std::uint8_t> payload) {
     const auto total = kIpv4HeaderSize + payload.size();
-    if (total > 0xffff) {
+    out.resize(total);
+    write_ipv4_header(out, header, total);
+    if (!payload.empty()) {
+        std::memcpy(out.data() + kIpv4HeaderSize, payload.data(), payload.size());
+    }
+}
+
+}  // namespace
+
+void write_ipv4_header(std::span<std::uint8_t> out, const Ipv4Header& header,
+                       std::size_t total_length) {
+    if (total_length > 0xffff) {
         throw std::length_error("IPv4 datagram exceeds 65535 bytes");
     }
-    out.resize(total);
     std::uint8_t* p = out.data();
     p[0] = 0x45;  // version 4, IHL 5 words
     p[1] = header.tos;
-    store_u16(p + 2, static_cast<std::uint16_t>(total));
+    store_u16(p + 2, static_cast<std::uint16_t>(total_length));
     store_u16(p + 4, header.identification);
     std::uint16_t frag = header.fragment_offset & 0x1fff;
     if (header.dont_fragment) frag |= 0x4000;
@@ -50,12 +60,7 @@ void write_datagram(util::ByteBuffer& out, const Ipv4Header& header,
     store_u32(p + 12, header.src.value());
     store_u32(p + 16, header.dst.value());
     store_u16(p + 10, util::internet_checksum({p, kIpv4HeaderSize}));
-    if (!payload.empty()) {
-        std::memcpy(p + kIpv4HeaderSize, payload.data(), payload.size());
-    }
 }
-
-}  // namespace
 
 util::ByteBuffer encode_datagram(const Ipv4Header& header,
                                  std::span<const std::uint8_t> payload) {

@@ -52,6 +52,15 @@ util::ByteBuffer encode_datagram(const Ipv4Header& header,
                                  std::span<const std::uint8_t> payload,
                                  util::BufferPool& pool);
 
+/// Writes the 20-byte fixed header (version/IHL, lengths, checksum) for a
+/// datagram of `total_length` bytes into the first kIpv4HeaderSize bytes of
+/// `out`. This is the in-place half of the headroom send path: a transport
+/// that laid out [headroom][segment] gets its IP header stored directly
+/// over the headroom, byte-identical to encode_datagram's output.
+/// Precondition: out.size() >= kIpv4HeaderSize, total_length <= 65535.
+void write_ipv4_header(std::span<std::uint8_t> out, const Ipv4Header& header,
+                       std::size_t total_length);
+
 /// The gateway's entire per-hop datagram rewrite, applied in place to a
 /// validated wire buffer: decrements TTL and patches the header checksum
 /// incrementally (RFC 1624). Produces bytes identical to re-serializing

@@ -92,16 +92,6 @@ private:
 Lan::Lan(sim::Simulator& sim, util::Rng& parent_rng, const LanParams& params, std::string name)
     : sim_(sim), rng_(parent_rng.fork()), params_(params), name_(std::move(name)) {}
 
-Lan::Flight* Lan::acquire_flight() {
-    if (free_flights_ != nullptr) {
-        Flight* f = free_flights_;
-        free_flights_ = f->next_free;
-        return f;
-    }
-    flights_.push_back(std::make_unique<Flight>());
-    return flights_.back().get();
-}
-
 Lan::~Lan() = default;
 
 NetIf& Lan::add_port() {
@@ -153,16 +143,14 @@ void Lan::medium_idle() {
         const sim::Time tx = sim::Time(static_cast<std::int64_t>(
             static_cast<double>(frame->size()) * 8.0 /
             static_cast<double>(params_.bits_per_second) * 1e9));
-        // Frames in flight ride free-listed nodes rather than heap-allocated
-        // shared_ptrs: a forwarding station can re-enter medium_idle() from
-        // inside a delivery, so more than one frame can be in flight at once
-        // and each needs its own slot.
-        Flight* flight = acquire_flight();
-        flight->packet = std::move(*frame);
-        sim_.schedule_after(tx + params_.propagation_delay, [this, src, flight] {
+        // The frame rides inside the event slot itself (InlineCallback's
+        // capture budget covers this + src + Packet): a forwarding station
+        // can re-enter medium_idle() from inside a delivery, so more than
+        // one frame can be in flight at once, and each slot is its own
+        // storage — no side free list, no heap traffic.
+        sim_.schedule_after(tx + params_.propagation_delay,
+                            [this, src, delivered = std::move(*frame)]() mutable {
             medium_busy_ = false;
-            Packet delivered = std::move(flight->packet);
-            release_flight(flight);
             if (up_) {
                 deliver_frame(src, std::move(delivered));
             } else {

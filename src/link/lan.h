@@ -67,21 +67,7 @@ private:
     std::string name_;
     std::vector<std::unique_ptr<Port>> ports_;
     std::unordered_map<util::Ipv4Address, std::size_t> neighbors_;
-    // A frame in flight on the medium. Storage is owned here and recycled
-    // through a free list so the steady state never touches the allocator.
-    struct Flight {
-        Packet packet;
-        Flight* next_free = nullptr;
-    };
-    Flight* acquire_flight();
-    void release_flight(Flight* f) noexcept {
-        f->next_free = free_flights_;
-        free_flights_ = f;
-    }
-
     std::vector<std::size_t> backlog_;  // ports waiting for the medium, FIFO
-    std::vector<std::unique_ptr<Flight>> flights_;
-    Flight* free_flights_ = nullptr;
     bool medium_busy_ = false;
     bool up_ = true;
     ChannelStats channel_stats_;

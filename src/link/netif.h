@@ -31,7 +31,11 @@ struct NetIfStats {
 
 class NetIf {
 public:
-    using Receiver = std::function<void(Packet)>;
+    // The packet is handed up by rvalue reference so the four-deep delivery
+    // chain (channel event → port → deliver → IP receive) moves the Packet
+    // once, at the end, instead of at every by-value hand-off. Lambdas that
+    // take `Packet` by value still bind — the move happens at their call.
+    using Receiver = std::function<void(Packet&&)>;
 
     virtual ~NetIf() = default;
 
@@ -76,7 +80,7 @@ public:
     void set_address(util::Ipv4Address addr) noexcept { address_ = addr; }
 
 protected:
-    void deliver(Packet packet) {
+    void deliver(Packet&& packet) {
         if (!up_ || !receiver_) return;
         ++stats_.packets_received;
         stats_.bytes_received += packet.size();

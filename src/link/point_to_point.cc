@@ -61,7 +61,7 @@ public:
     const ChannelStats& channel_stats() const noexcept { return channel_stats_; }
     void flush() { queue_->clear(); }
 
-    void receive_from_peer(Packet packet) { deliver(std::move(packet)); }
+    void receive_from_peer(Packet&& packet) { deliver(std::move(packet)); }
 
 private:
     // Clocks the head-of-queue packet onto the wire. The serialization and
@@ -80,8 +80,21 @@ private:
         }
     }
 
+    // One-entry memo over LinkParams::transmission_time. A port in steady
+    // state clocks a stream of same-sized packets (full segments one way,
+    // bare ACKs the other), and the 64-bit ceiling division is the single
+    // most expensive instruction left in the per-hop path; the memo turns
+    // it into a compare. A size change is just one recomputation.
+    sim::Time transmission_time(std::size_t bytes) {
+        if (bytes != tx_memo_bytes_) {
+            tx_memo_bytes_ = bytes;
+            tx_memo_ = params_.transmission_time(bytes);
+        }
+        return tx_memo_;
+    }
+
     void transmit(Packet packet) {
-        const auto tx = params_.transmission_time(packet.size());
+        const auto tx = transmission_time(packet.size());
         busy_until_ = link_.sim_.now() + tx;
         ++stats_.packets_sent;
         stats_.bytes_sent += packet.size();
@@ -96,17 +109,16 @@ private:
             delay += sim::Time(static_cast<std::int64_t>(
                 link_.rng_.uniform(0, static_cast<std::uint64_t>(params_.jitter.nanos()))));
         }
-        Flight* flight = acquire_flight();
-        flight->packet = std::move(packet);
-        link_.sim_.schedule_after(delay, [this, flight] {
-            Packet delivered = std::move(flight->packet);
-            release_flight(flight);
+        // The packet rides inside the event slot itself (InlineCallback's
+        // capture budget covers this + Packet), so any number of packets can
+        // be concurrently propagating without heap traffic.
+        link_.sim_.schedule_after(delay, [this, p = std::move(packet)]() mutable {
             if (peer_ != nullptr && link_.up_) {
-                peer_->receive_from_peer(std::move(delivered));
+                peer_->receive_from_peer(std::move(p));
             } else {
                 // In flight when the link failed: lost on the wire.
                 ++channel_stats_.packets_lost;
-                link_.sim_.buffer_pool().recycle(std::move(delivered.bytes));
+                link_.sim_.buffer_pool().recycle(std::move(p.bytes));
             }
         });
     }
@@ -122,30 +134,6 @@ private:
             kick_scheduled_ = true;
             link_.sim_.schedule_after(busy_until_ - now, [this] { kick(); });
         }
-    }
-
-    // Packets concurrently propagating toward the peer. Nodes are recycled
-    // through a free list, so the steady state allocates nothing; storage
-    // is owned here and outlives every scheduled delivery (the link always
-    // outlives its simulation run).
-    struct Flight {
-        Packet packet;
-        Flight* next_free = nullptr;
-    };
-
-    Flight* acquire_flight() {
-        if (free_flights_ != nullptr) {
-            Flight* f = free_flights_;
-            free_flights_ = f->next_free;
-            return f;
-        }
-        flights_.push_back(std::make_unique<Flight>());
-        return flights_.back().get();
-    }
-
-    void release_flight(Flight* f) noexcept {
-        f->next_free = free_flights_;
-        free_flights_ = f;
     }
 
     void maybe_corrupt(Packet& packet) {
@@ -170,8 +158,8 @@ private:
     Port* peer_ = nullptr;
     sim::Time busy_until_;        ///< the wire is serializing until this time
     bool kick_scheduled_ = false; ///< a wake-up at busy_until_ is pending
-    std::vector<std::unique_ptr<Flight>> flights_;
-    Flight* free_flights_ = nullptr;
+    std::size_t tx_memo_bytes_ = SIZE_MAX;  ///< last size fed to transmission_time
+    sim::Time tx_memo_;                     ///< its serialization delay
     ChannelStats channel_stats_;
 };
 

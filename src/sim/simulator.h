@@ -8,7 +8,7 @@
 // EventId packs (slot index, generation) so cancellation is an O(1)
 // generation bump with no auxiliary containers, and the binary heap holds
 // only (time, seq, slot) triples that are invalidated lazily at pop.
-// Callbacks are InlineCallbacks: captures up to 48 bytes never touch the
+// Callbacks are InlineCallbacks: captures up to 64 bytes never touch the
 // heap, so steady-state schedule/cancel is allocation-free.
 #pragma once
 
@@ -43,23 +43,32 @@ public:
     /// Defined inline: this and cancel() are the two hottest functions in
     /// the library, and the compiler folds the callback's ops dispatch to
     /// straight-line code only when it sees construction and storage
-    /// together.
-    EventId schedule_at(Time when, Callback fn) {
+    /// together. Templated on the callable so the capture is constructed
+    /// directly in the event slot — handing over a prebuilt Callback would
+    /// relocate it twice (into the parameter, then into the slot), and for
+    /// lambdas that carry a Packet each relocation is a real move.
+    template <typename F>
+    EventId schedule_at(Time when, F&& fn) {
         if (when < now_) throw_past("schedule_at", when);
         const std::uint32_t slot = acquire_slot();
         EventSlot& s = slots_[slot];
         s.when = when;
         s.seq = next_seq_++;
         s.armed = true;
-        s.fn = std::move(fn);
+        if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+            s.fn = std::forward<F>(fn);
+        } else {
+            s.fn.emplace(std::forward<F>(fn));
+        }
         ++live_;
         push_heap_entry(when, s.seq, slot);
         return pack(s.generation, slot);
     }
 
     /// Schedules `fn` to run `delay` after the current time.
-    EventId schedule_after(Time delay, Callback fn) {
-        return schedule_at(now_ + delay, std::move(fn));
+    template <typename F>
+    EventId schedule_after(Time delay, F&& fn) {
+        return schedule_at(now_ + delay, std::forward<F>(fn));
     }
 
     /// Cancels a pending event; no-op if already fired or cancelled.

@@ -13,6 +13,11 @@ namespace {
 const util::Logger kLog("tcp");
 
 constexpr std::size_t kIpTcpOverhead = 40;  // IP + TCP fixed headers
+
+// Smallest data segment worth planning for when sizing the out-of-order
+// vector: the RFC 1122 default MSS. The reservation bounds entry count so
+// reordering storms re-use the same backing store instead of growing it.
+constexpr std::size_t kMinPlausibleMss = 536;
 }  // namespace
 
 const char* to_string(TcpState s) noexcept {
@@ -39,11 +44,22 @@ const char* to_string(TcpState s) noexcept {
 TcpSocket::TcpSocket(TcpStack& stack, TcpConfig config)
     : stack_(stack),
       config_(config),
+      send_ring_(config.send_buffer),
+      recv_ring_(config.recv_buffer),
       rto_timer_(stack.ip().simulator(), [this] { on_rto_fire(); }),
       persist_timer_(stack.ip().simulator(), [this] { on_persist_fire(); }),
-      delayed_ack_timer_(stack.ip().simulator(), [this] { send_ack_now(); }),
+      delayed_ack_timer_(stack.ip().simulator(),
+                         [this] {
+                             // Lazy fire: the flag may have been consumed by
+                             // a piggybacked or forced ACK since this was
+                             // armed; then the event is a no-op instead of
+                             // every ACK paying a cancel.
+                             if (ack_pending_) send_ack_now();
+                         }),
       time_wait_timer_(stack.ip().simulator(), [this] { finish_and_remove(); }),
-      quench_resume_timer_(stack.ip().simulator(), [this] { try_send(false); }) {}
+      quench_resume_timer_(stack.ip().simulator(), [this] { try_send(false); }) {
+    out_of_order_.reserve(config_.recv_buffer / kMinPlausibleMss + 1);
+}
 
 TcpSocket::~TcpSocket() = default;
 
@@ -54,7 +70,7 @@ void TcpSocket::enter_state(TcpState next) {
 }
 
 std::size_t TcpSocket::send_space() const noexcept {
-    return config_.send_buffer - std::min(config_.send_buffer, send_buffer_.size());
+    return config_.send_buffer - std::min(config_.send_buffer, send_ring_.size());
 }
 
 const TcpSocketStats& TcpSocket::stats() const {
@@ -97,7 +113,7 @@ std::uint16_t TcpSocket::advertised_window() const noexcept {
     // avoidance — do not advance the right edge by dribbles — and never
     // retreat a previously advertised edge.
     const std::size_t free_space =
-        config_.recv_buffer - std::min(config_.recv_buffer, recv_queue_.size());
+        config_.recv_buffer - std::min(config_.recv_buffer, recv_ring_.size());
     const std::size_t threshold =
         std::min<std::size_t>(effective_send_mss(), config_.recv_buffer / 2);
     SeqNum candidate_edge = rcv_nxt_ + static_cast<std::uint32_t>(
@@ -120,11 +136,11 @@ void TcpSocket::set_manual_receive(bool manual) {
 }
 
 std::size_t TcpSocket::read(std::span<std::uint8_t> out) {
-    const std::size_t take = std::min(out.size(), recv_queue_.size());
-    std::copy(recv_queue_.begin(), recv_queue_.begin() + static_cast<std::ptrdiff_t>(take),
-              out.begin());
-    recv_queue_.erase(recv_queue_.begin(),
-                      recv_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    const std::size_t take = std::min(out.size(), recv_ring_.size());
+    if (take > 0) {
+        recv_ring_.read(0, out.first(take));
+        recv_ring_.consume(take);
+    }
     if (take > 0 && (state_ == TcpState::Established || state_ == TcpState::CloseWait ||
                      state_ == TcpState::FinWait1 || state_ == TcpState::FinWait2)) {
         // Window update if the opening is worth advertising (SWS check is
@@ -199,8 +215,7 @@ std::size_t TcpSocket::send(std::span<const std::uint8_t> data) {
     }
     if (fin_queued_) return 0;
     const std::size_t accept = std::min(data.size(), send_space());
-    send_buffer_.insert(send_buffer_.end(), data.begin(), data.begin() +
-                        static_cast<std::ptrdiff_t>(accept));
+    send_ring_.write(data.first(accept));
     if (state_ == TcpState::Established || state_ == TcpState::CloseWait) {
         try_send(false);
     }
@@ -264,8 +279,8 @@ void TcpSocket::try_send(bool /*ack_only_allowed*/) {
     while (true) {
         if (fin_sent_) break;  // everything (incl. FIN) already in flight
         const std::uint32_t in_flight_data = flight_size();
-        if (send_buffer_.size() < in_flight_data) break;  // defensive
-        const std::size_t unsent = send_buffer_.size() - in_flight_data;
+        if (send_ring_.size() < in_flight_data) break;  // defensive
+        const std::size_t unsent = send_ring_.size() - in_flight_data;
         const std::uint32_t usable = usable_window();
 
         const bool want_fin =
@@ -309,15 +324,17 @@ void TcpSocket::try_send(bool /*ack_only_allowed*/) {
 
     if (sent_any) {
         arm_rto();
+        // Any data segment carries the current ACK; the pending delayed-ACK
+        // obligation is satisfied without touching its timer (lazy fire).
         ack_pending_ = false;
-        delayed_ack_timer_.cancel();
         segments_since_ack_ = 0;
     }
 }
 
-// Sends payload bytes [seq, seq+length) out of the send buffer (possibly a
+// Sends payload bytes [seq, seq+length) out of the send ring (possibly a
 // retransmission — byte sequencing means we repacketize freely), optionally
-// carrying FIN.
+// carrying FIN. The payload is never copied here: the ring hands back views
+// and the codec gathers them straight into the wire buffer.
 void TcpSocket::send_segment(SeqNum seq, std::size_t length, bool fin, bool force_psh) {
     TcpHeader h;
     h.src_port = local_port_;
@@ -329,11 +346,9 @@ void TcpSocket::send_segment(SeqNum seq, std::size_t length, bool fin, bool forc
     h.flags.psh = force_psh || fin;
     h.window = advertised_window();
 
-    util::ByteBuffer payload;
+    util::RingBuffer::Spans payload;
     if (length > 0) {
-        const std::size_t offset = seq - snd_una_;
-        payload.assign(send_buffer_.begin() + static_cast<std::ptrdiff_t>(offset),
-                       send_buffer_.begin() + static_cast<std::ptrdiff_t>(offset + length));
+        payload = send_ring_.peek(seq - snd_una_, length);
     }
 
     const bool is_retransmission = seq_lt(seq, snd_max_);
@@ -359,7 +374,7 @@ void TcpSocket::send_segment(SeqNum seq, std::size_t length, bool fin, bool forc
         fin_seq_out_ = seq + static_cast<std::uint32_t>(length);
     }
 
-    transmit(h, payload);
+    transmit(h, payload.first, payload.second);
 }
 
 void TcpSocket::send_control(TcpFlags flags, SeqNum seq) {
@@ -380,7 +395,7 @@ void TcpSocket::send_control(TcpFlags flags, SeqNum seq) {
         }
         h.mss = static_cast<std::uint16_t>(announce);
     }
-    transmit(h, {});
+    transmit(h, {}, {});
 }
 
 void TcpSocket::send_ack_now() {
@@ -388,9 +403,11 @@ void TcpSocket::send_ack_now() {
         state_ == TcpState::SynSent) {
         return;
     }
+    // The delayed-ACK timer is deliberately left pending: its lazy-fire
+    // callback sees ack_pending_ == false and does nothing. Clearing the
+    // flag here is the whole cost of satisfying the obligation.
     ack_pending_ = false;
     segments_since_ack_ = 0;
-    delayed_ack_timer_.cancel();
     TcpFlags f;
     f.ack = true;
     send_control(f, snd_nxt_);
@@ -406,19 +423,29 @@ void TcpSocket::schedule_ack() {
     delayed_ack_timer_.schedule_if_idle(config_.delayed_ack_timeout);
 }
 
-void TcpSocket::transmit(const TcpHeader& header, std::span<const std::uint8_t> payload) {
-    if (getenv("CATENET_TCP_DEBUG")) {
+void TcpSocket::transmit(const TcpHeader& header, std::span<const std::uint8_t> payload_a,
+                         std::span<const std::uint8_t> payload_b) {
+    // getenv walks the environment block; once per process is plenty.
+    static const bool debug = std::getenv("CATENET_TCP_DEBUG") != nullptr;
+    if (debug) {
         fprintf(stderr, "[%8.3f] %s:%u -> %u seq=%u ack=%u len=%zu %s%s%s%s wnd=%u snd_una=%u snd_nxt=%u rcv_nxt=%u flight=%u\n",
             stack_.ip().simulator().now().seconds(), stack_.ip().name().c_str(),
-            local_port_, remote_port_, header.seq, header.ack, payload.size(),
+            local_port_, remote_port_, header.seq, header.ack,
+            payload_a.size() + payload_b.size(),
             header.flags.syn?"S":"", header.flags.fin?"F":"", header.flags.rst?"R":"",
             header.flags.ack?".":"", header.window, snd_una_, snd_nxt_, rcv_nxt_, flight_size());
     }
-    const auto wire = encode_tcp(header, local_addr_, remote_addr_, payload);
+    // One buffer start to finish: the codec lays the segment out behind
+    // kIpv4HeaderSize bytes of headroom, the IP layer serializes its header
+    // into that headroom, and the link takes ownership — the only payload
+    // copy on the whole send path is the ring-to-wire gather above.
+    auto wire = encode_tcp_segment(header, local_addr_, remote_addr_, payload_a,
+                                   payload_b, ip::kIpv4HeaderSize,
+                                   stack_.ip().simulator().buffer_pool());
     ip::SendOptions opts;
     opts.tos = config_.tos;
     opts.source = local_addr_;
-    stack_.ip().send(ip::kProtoTcp, remote_addr_, wire, opts);
+    stack_.ip().send_with_headroom(ip::kProtoTcp, remote_addr_, std::move(wire), opts);
     ++stats_.segments_sent;
 }
 
@@ -438,7 +465,20 @@ sim::Time TcpSocket::current_rto() const noexcept {
     return base;
 }
 
-void TcpSocket::arm_rto() { rto_timer_.schedule(current_rto()); }
+// Lazy re-arm (the BSD trick): every transmitted segment and every ACK
+// restarts the retransmission clock, so a naive implementation pays a heap
+// reschedule per packet. Instead the restart is one variable store — the
+// deadline — and the armed timer is left alone; when it fires early it
+// checks the deadline and goes back to sleep for the remainder. In a
+// healthy transfer that is one wake-up per RTO period instead of two heap
+// operations per segment.
+void TcpSocket::arm_rto() {
+    const sim::Time rto = current_rto();
+    rto_deadline_ = stack_.ip().simulator().now() + rto;
+    if (!rto_timer_.pending() || rto_timer_.expiry() > rto_deadline_) {
+        rto_timer_.schedule(rto);
+    }
+}
 
 void TcpSocket::update_rtt(sim::Time sample) {
     const auto s = static_cast<double>(sample.nanos());
@@ -455,6 +495,13 @@ void TcpSocket::update_rtt(sim::Time sample) {
 }
 
 void TcpSocket::on_rto_fire() {
+    const sim::Time now = stack_.ip().simulator().now();
+    if (now < rto_deadline_) {
+        // The deadline moved while we slept (segments were ACKed); this is
+        // the lazy re-arm's deferred reschedule, not a timeout.
+        rto_timer_.schedule(rto_deadline_ - now);
+        return;
+    }
     ++stats_.timeouts;
     ++consecutive_timeouts_;
     if (consecutive_timeouts_ > config_.max_retries) {
@@ -505,7 +552,7 @@ void TcpSocket::on_persist_fire() {
     if (snd_wnd_ > 0) return;  // window opened meanwhile
     // Zero-window probe: one byte beyond the window, if we have one.
     const std::uint32_t in_flight = flight_size();
-    if (send_buffer_.size() > in_flight) {
+    if (send_ring_.size() > in_flight) {
         send_segment(snd_nxt_, 1, false, true);
     } else {
         send_ack_now();
@@ -575,8 +622,7 @@ void TcpSocket::enter_loss_recovery() {
         cwnd_acc_ = 0;
     }
     const std::size_t resend =
-        std::min<std::size_t>(effective_send_mss(),
-                              send_buffer_.size());
+        std::min<std::size_t>(effective_send_mss(), send_ring_.size());
     if (resend > 0) {
         send_segment(snd_una_, resend, false, false);
         arm_rto();
@@ -585,8 +631,69 @@ void TcpSocket::enter_loss_recovery() {
 
 // --- segment arrival ----------------------------------------------------------------
 
+// Header prediction, after Van Jacobson: on an Established connection that
+// is not mid-recovery, not closing, and has no window news, the only two
+// segment shapes that occur are "next in-order data, same ack" (receiver
+// side of a bulk transfer) and "pure ack advancing snd_una_" (sender side).
+// Both are handled here with straight-line code; anything else falls back
+// to the full RFC 793 processing in on_segment, which remains the single
+// source of truth for every corner case.
+bool TcpSocket::try_fast_path(const TcpHeader& h, std::span<const std::uint8_t> payload) {
+    if (h.flags.syn || h.flags.fin || h.flags.rst || h.flags.urg || !h.flags.ack) {
+        return false;
+    }
+    if (h.seq != rcv_nxt_) return false;
+    if (h.window != snd_wnd_ || snd_wnd_ == 0) return false;
+    if (snd_nxt_ != snd_max_) return false;  // RTO rewind in progress
+    if (fin_queued_ || fin_received_ || fin_seq_out_.has_value()) return false;
+
+    if (payload.empty()) {
+        // Pure ACK moving forward: snd_una_ < ack <= snd_max_, and no
+        // fast-retransmit streak to account for.
+        if (!(seq_gt(h.ack, snd_una_) && seq_leq(h.ack, snd_max_))) return false;
+        if (dup_acks_ != 0) return false;
+        ++stats_.fast_path_acks;
+        const std::uint32_t acked = h.ack - snd_una_;
+        // RTT sample (Karn-safe: timing_ was invalidated on retransmit).
+        if (timing_ && seq_gt(h.ack, timed_seq_)) {
+            update_rtt(stack_.ip().simulator().now() - timed_sent_at_);
+            timing_ = false;
+        }
+        const bool buffer_was_full = send_space() == 0;
+        send_ring_.consume(acked);
+        snd_una_ = h.ack;
+        on_ack_advance(acked);
+        if (flight_size() == 0) {
+            rto_timer_.cancel();
+        } else {
+            arm_rto();
+        }
+        if (buffer_was_full && send_space() > 0 && on_send_space) on_send_space();
+        try_send(false);
+        return true;
+    }
+
+    // Next expected data, nothing in flight disturbed (ack repeats
+    // snd_una_), reassembly queue empty, auto-delivering receiver with the
+    // whole payload inside the advertised window.
+    if (h.ack != snd_una_) return false;
+    if (!out_of_order_.empty()) return false;
+    if (manual_receive_ || !recv_open_) return false;
+    if (payload.size() > std::min<std::size_t>(config_.recv_buffer, 0xffff)) {
+        return false;
+    }
+    ++stats_.fast_path_data;
+    rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
+    stats_.bytes_received += payload.size();
+    if (on_data) on_data(payload);
+    schedule_ack();
+    return true;
+}
+
 void TcpSocket::on_segment(const TcpHeader& h, std::span<const std::uint8_t> payload) {
     ++stats_.segments_received;
+
+    if (state_ == TcpState::Established && try_fast_path(h, payload)) return;
 
     if (state_ == TcpState::SynSent) {
         if (h.flags.ack && (seq_leq(h.ack, iss_) || seq_gt(h.ack, snd_nxt_))) {
@@ -735,7 +842,7 @@ void TcpSocket::handle_ack(const TcpHeader& h, bool has_payload) {
         const bool fin_covered = fin_seq_out_ && seq_gt(h.ack, *fin_seq_out_);
         if (fin_covered) data_acked -= 1;
         data_acked = std::min<std::uint32_t>(data_acked,
-                                             static_cast<std::uint32_t>(send_buffer_.size()));
+                                             static_cast<std::uint32_t>(send_ring_.size()));
 
         // RTT sample (Karn-safe: timing_ was invalidated on retransmit).
         if (timing_ && seq_gt(h.ack, timed_seq_)) {
@@ -744,8 +851,7 @@ void TcpSocket::handle_ack(const TcpHeader& h, bool has_payload) {
         }
 
         const bool buffer_was_full = send_space() == 0;
-        send_buffer_.erase(send_buffer_.begin(),
-                           send_buffer_.begin() + static_cast<std::ptrdiff_t>(data_acked));
+        send_ring_.consume(data_acked);
         snd_una_ = h.ack;
         if (seq_lt(snd_nxt_, snd_una_)) snd_nxt_ = snd_una_;  // post-rewind catch-up
         snd_wnd_ = h.window;
@@ -765,7 +871,7 @@ void TcpSocket::handle_ack(const TcpHeader& h, bool has_payload) {
                 case TcpState::Closing:
                     enter_state(TcpState::TimeWait);
                     time_wait_timer_.schedule(config_.msl * 2);
-                    break;
+                    return;
                 case TcpState::LastAck:
                     finish_and_remove();
                     return;
@@ -805,51 +911,68 @@ void TcpSocket::process_payload(const TcpHeader& h, std::span<const std::uint8_t
     }
 
     if (seq == rcv_nxt_) {
-        rcv_nxt_ += static_cast<std::uint32_t>(data.size());
-        stats_.bytes_received += data.size();
+        // Manual mode stores before advancing so rcv_nxt_ only covers bytes
+        // the ring actually holds; a sender that overruns the advertised
+        // window retransmits the truncated tail.
+        std::size_t taken = data.size();
+        if (manual_receive_) taken = recv_ring_.write(data);
+        rcv_nxt_ += static_cast<std::uint32_t>(taken);
+        stats_.bytes_received += taken;
         if (manual_receive_) {
-            recv_queue_.insert(recv_queue_.end(), data.begin(), data.end());
-            if (on_readable) on_readable();
+            if (taken > 0 && on_readable) on_readable();
         } else if (on_data) {
             on_data(data);
         }
         deliver_in_order();
         schedule_ack();
     } else {
-        // Out of order: hold (bounded by the receive buffer) and send an
-        // immediate duplicate ACK so the sender's fast retransmit works.
+        // Out of order: hold (bounded by the receive buffer, in a pooled
+        // buffer) and send an immediate duplicate ACK so the sender's fast
+        // retransmit works. The capacity guard keeps the sorted vector from
+        // ever growing past its connection-setup reservation.
         ++stats_.out_of_order_segments;
-        std::size_t held = 0;
-        for (const auto& [s, d] : out_of_order_) held += d.size();
-        if (held + data.size() <= config_.recv_buffer) {
-            out_of_order_.emplace(seq, util::to_buffer(data));
+        if (ooo_bytes_ + data.size() <= config_.recv_buffer &&
+            out_of_order_.size() < out_of_order_.capacity()) {
+            const auto pos = std::lower_bound(
+                out_of_order_.begin(), out_of_order_.end(), seq,
+                [](const OooSegment& s, SeqNum v) { return seq_lt(s.seq, v); });
+            if (pos == out_of_order_.end() || pos->seq != seq) {
+                util::ByteBuffer held =
+                    stack_.ip().simulator().buffer_pool().acquire(data.size());
+                held.assign(data.begin(), data.end());
+                ooo_bytes_ += data.size();
+                out_of_order_.insert(pos, OooSegment{seq, std::move(held)});
+            }
         }
         send_ack_now();
     }
 }
 
 void TcpSocket::deliver_in_order() {
-    auto it = out_of_order_.begin();
-    while (it != out_of_order_.end()) {
-        const SeqNum seq = it->first;
-        if (seq_gt(seq, rcv_nxt_)) break;
-        util::ByteBuffer data = std::move(it->second);
-        it = out_of_order_.erase(it);
-        if (seq_lt(seq + static_cast<std::uint32_t>(data.size()), rcv_nxt_) ||
-            seq + static_cast<std::uint32_t>(data.size()) == rcv_nxt_) {
-            continue;  // entirely duplicate
+    while (!out_of_order_.empty()) {
+        if (seq_gt(out_of_order_.front().seq, rcv_nxt_)) break;
+        const SeqNum seq = out_of_order_.front().seq;
+        util::ByteBuffer data = std::move(out_of_order_.front().data);
+        out_of_order_.erase(out_of_order_.begin());
+        ooo_bytes_ -= data.size();
+        const SeqNum end = seq + static_cast<std::uint32_t>(data.size());
+        if (seq_leq(end, rcv_nxt_)) {
+            // Entirely duplicate.
+            stack_.ip().simulator().buffer_pool().recycle(std::move(data));
+            continue;
         }
         const std::uint32_t skip = rcv_nxt_ - seq;
         const std::span<const std::uint8_t> fresh(data.data() + skip, data.size() - skip);
-        rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
-        stats_.bytes_received += fresh.size();
+        std::size_t taken = fresh.size();
+        if (manual_receive_) taken = recv_ring_.write(fresh);
+        rcv_nxt_ += static_cast<std::uint32_t>(taken);
+        stats_.bytes_received += taken;
         if (manual_receive_) {
-            recv_queue_.insert(recv_queue_.end(), fresh.begin(), fresh.end());
-            if (on_readable) on_readable();
+            if (taken > 0 && on_readable) on_readable();
         } else if (on_data) {
             on_data(fresh);
         }
-        it = out_of_order_.begin();  // restart: rcv_nxt_ moved
+        stack_.ip().simulator().buffer_pool().recycle(std::move(data));
     }
 }
 
@@ -875,7 +998,7 @@ void TcpSocket::finish_and_remove() {
     time_wait_timer_.cancel();
     if (on_closed) on_closed();
     stack_.remove_connection(
-        TcpStack::ConnKey{remote_addr_.value(), remote_port_, local_port_});
+        make_conn_key(remote_addr_.value(), remote_port_, local_port_));
 }
 
 // ---------------------------------------------------------------------------
@@ -909,9 +1032,9 @@ void TcpStack::on_source_quench(const ip::IcmpMessage& msg) {
         static_cast<std::uint16_t>((msg.body[20] << 8) | msg.body[21]);
     const auto remote_port =
         static_cast<std::uint16_t>((msg.body[22] << 8) | msg.body[23]);
-    const ConnKey key{remote.value(), remote_port, local_port};
-    if (auto it = connections_.find(key); it != connections_.end()) {
-        it->second->on_source_quench();
+    if (auto* entry = connections_.find(
+            make_conn_key(remote.value(), remote_port, local_port))) {
+        (*entry)->on_source_quench();
     }
 }
 
@@ -921,8 +1044,8 @@ std::uint16_t TcpStack::allocate_port() {
         next_ephemeral_ = candidate == 0xffff ? 49152 : candidate + 1;
         const bool in_use =
             listeners_.contains(candidate) ||
-            std::any_of(connections_.begin(), connections_.end(), [&](const auto& kv) {
-                return kv.first.local_port == candidate;
+            connections_.any_of([&](std::uint64_t key, const auto&) {
+                return conn_key_local_port(key) == candidate;
             });
         if (!in_use) return candidate;
     }
@@ -933,7 +1056,7 @@ std::shared_ptr<TcpSocket> TcpStack::connect(util::Ipv4Address dst, std::uint16_
                                              const TcpConfig& config) {
     const std::uint16_t src_port = allocate_port();
     auto socket = std::shared_ptr<TcpSocket>(new TcpSocket(*this, config));
-    connections_[ConnKey{dst.value(), dst_port, src_port}] = socket;
+    connections_.insert(make_conn_key(dst.value(), dst_port, src_port), socket);
     ++stats_.connections_opened;
     socket->open_active(dst, dst_port, src_port);
     return socket;
@@ -964,11 +1087,11 @@ void TcpStack::on_segment(const ip::Ipv4Header& header,
         return;
     }
 
-    const ConnKey key{header.src.value(), h->src_port, h->dst_port};
-    if (auto it = connections_.find(key); it != connections_.end()) {
+    const std::uint64_t key = make_conn_key(header.src.value(), h->src_port, h->dst_port);
+    if (auto* entry = connections_.find(key)) {
         // Keep the socket alive through the callback even if it removes
         // itself from the table.
-        auto socket = it->second;
+        auto socket = *entry;
         socket->on_segment(*h, data);
         return;
     }
@@ -978,7 +1101,7 @@ void TcpStack::on_segment(const ip::Ipv4Header& header,
         if (auto lit = listeners_.find(h->dst_port); lit != listeners_.end()) {
             auto socket =
                 std::shared_ptr<TcpSocket>(new TcpSocket(*this, lit->second.config));
-            connections_[key] = socket;
+            connections_.insert(key, socket);
             socket->open_passive(header.src, h->src_port, h->dst_port, *h);
             if (lit->second.on_accept) lit->second.on_accept(socket);
             return;
@@ -1009,11 +1132,11 @@ void TcpStack::send_reset(const ip::Ipv4Header& header, const TcpHeader& offendi
     ++stats_.resets_sent;
 }
 
-void TcpStack::remove_connection(const ConnKey& key) {
-    auto it = connections_.find(key);
-    if (it == connections_.end()) return;
-    auto doomed = it->second;
-    connections_.erase(it);
+void TcpStack::remove_connection(std::uint64_t key) {
+    auto* entry = connections_.find(key);
+    if (entry == nullptr) return;
+    auto doomed = std::move(*entry);
+    connections_.erase(key);
     // Defer the final release one event: remove_connection is often called
     // from deep inside the doomed socket's own call stack (timer fire,
     // segment processing), and destroying it mid-flight would be UB.

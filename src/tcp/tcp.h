@@ -9,21 +9,34 @@
 // Every era-appropriate mechanism is individually switchable in TcpConfig
 // so the host-burden (E6) and ablation benchmarks can measure what each
 // one buys. Nothing newer than the paper (no SACK, window scaling, ECN).
+//
+// The established-connection data path is allocation-free in steady state:
+// send and receive buffers are power-of-two rings (util::RingBuffer), the
+// retransmission "queue" is nothing but sequence arithmetic over the send
+// ring (a resend is a peek at a smaller offset), segment wire buffers come
+// from the per-simulator BufferPool with IP-header headroom so the IP layer
+// serializes in place, out-of-order segments are held in pooled buffers,
+// and demux is an open-addressed hash (ConnTable). A Van Jacobson style
+// header-prediction fast path short-circuits the two overwhelmingly common
+// segment shapes — pure ACK and next-expected data — past the full RFC 793
+// receive processing; see try_fast_path for the exact predicate.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "ip/ip_stack.h"
 #include "sim/timer.h"
+#include "tcp/conn_table.h"
 #include "tcp/sequence.h"
 #include "tcp/tcp_header.h"
 #include "util/random.h"
+#include "util/ring_buffer.h"
 
 namespace catenet::tcp {
 
@@ -90,6 +103,9 @@ struct TcpSocketStats {
     std::uint64_t source_quenches = 0;
     std::uint64_t duplicate_acks_received = 0;
     std::uint64_t out_of_order_segments = 0;
+    /// Header-prediction hits: segments fully handled by the fast path.
+    std::uint64_t fast_path_acks = 0;
+    std::uint64_t fast_path_data = 0;
     double srtt_ms = 0.0;
     double rto_ms = 0.0;
     std::uint64_t cwnd_bytes = 0;
@@ -148,7 +164,7 @@ public:
     std::size_t read(std::span<std::uint8_t> out);
 
     /// Manual mode: bytes queued and readable right now.
-    std::size_t bytes_available() const noexcept { return recv_queue_.size(); }
+    std::size_t bytes_available() const noexcept { return recv_ring_.size(); }
 
     /// Manual mode: fires when bytes_available() grows.
     std::function<void()> on_readable;
@@ -179,6 +195,11 @@ private:
     void open_passive(util::Ipv4Address peer, std::uint16_t peer_port,
                       std::uint16_t local_port, const TcpHeader& syn);
     void on_segment(const TcpHeader& header, std::span<const std::uint8_t> payload);
+    /// Header prediction (Van Jacobson's receive fast path): handles an
+    /// in-order data segment or a forward pure ACK on an undisturbed
+    /// Established connection without entering the RFC 793 slow path.
+    /// Returns false (having done nothing) on any deviation.
+    bool try_fast_path(const TcpHeader& header, std::span<const std::uint8_t> payload);
     void enter_state(TcpState next);
 
     // --- send machinery ------------------------------------------------
@@ -187,7 +208,10 @@ private:
     void send_control(TcpFlags flags, SeqNum seq);
     void send_ack_now();
     void schedule_ack();
-    void transmit(const TcpHeader& header, std::span<const std::uint8_t> payload);
+    /// Encodes header + payload (gathered from up to two ring spans) into
+    /// a pooled wire buffer with IP headroom and hands it off in place.
+    void transmit(const TcpHeader& header, std::span<const std::uint8_t> payload_a,
+                  std::span<const std::uint8_t> payload_b);
     std::size_t effective_send_mss() const noexcept;
     std::uint32_t flight_size() const noexcept;
     std::uint32_t usable_window() const noexcept;
@@ -234,7 +258,10 @@ private:
     SeqNum snd_max_ = 0;
     std::optional<SeqNum> fin_seq_out_;  ///< sequence of our FIN, once sent
     std::uint32_t snd_wnd_ = 0;
-    std::deque<std::uint8_t> send_buffer_;  ///< bytes [snd_una_ ...]
+    /// Unacknowledged + unsent bytes; front is snd_una_. Retransmission
+    /// state is just offsets into this ring — no per-segment copies exist
+    /// until a segment is serialized to the wire.
+    util::RingBuffer send_ring_;
     bool fin_queued_ = false;
     bool fin_sent_ = false;
     bool push_requested_ = false;
@@ -247,8 +274,16 @@ private:
     /// visibly retreat); used by manual-mode SWS avoidance. Updated from
     /// the logically-const advertisement computation.
     mutable SeqNum rcv_adv_ = 0;
-    std::map<SeqNum, util::ByteBuffer> out_of_order_;
-    std::deque<std::uint8_t> recv_queue_;  ///< manual mode only
+    /// Segments beyond rcv_nxt_, sorted by seq, payloads in pooled
+    /// buffers. Bounded: ooo_bytes_ <= recv_buffer and entry count at the
+    /// reserved capacity, so steady-state reordering never allocates.
+    struct OooSegment {
+        SeqNum seq;
+        util::ByteBuffer data;
+    };
+    std::vector<OooSegment> out_of_order_;
+    std::size_t ooo_bytes_ = 0;
+    util::RingBuffer recv_ring_;  ///< manual mode only
     bool manual_receive_ = false;
     bool fin_received_ = false;
     SeqNum fin_seq_ = 0;
@@ -277,7 +312,14 @@ private:
     bool recv_open_ = true;
 
     sim::Timer rto_timer_;
+    /// The retransmission clock's true expiry. arm_rto() only bumps this
+    /// store; the armed timer re-sleeps to it when it wakes early, so
+    /// restarting the clock on every segment/ACK costs no heap operation.
+    sim::Time rto_deadline_;
     sim::Timer persist_timer_;
+    /// Lazily-fired: left pending after an ACK goes out and re-armed with
+    /// schedule_if_idle, so the per-segment cost is a flag write, not a
+    /// cancel+schedule pair. A fire with ack_pending_ clear is a no-op.
     sim::Timer delayed_ack_timer_;
     sim::Timer time_wait_timer_;
     /// Pre-Jacobson quench response: transmission pause (see
@@ -326,13 +368,6 @@ public:
 private:
     friend class TcpSocket;
 
-    struct ConnKey {
-        std::uint32_t remote_addr;
-        std::uint16_t remote_port;
-        std::uint16_t local_port;
-        auto operator<=>(const ConnKey&) const = default;
-    };
-
     struct Listener {
         AcceptHandler on_accept;
         TcpConfig config;
@@ -342,12 +377,12 @@ private:
     void on_source_quench(const ip::IcmpMessage& msg);
     void send_reset(const ip::Ipv4Header& header, const TcpHeader& offending,
                     std::size_t payload_len);
-    void remove_connection(const ConnKey& key);
+    void remove_connection(std::uint64_t key);
     std::uint16_t allocate_port();
 
     ip::IpStack& ip_;
     util::Rng rng_;
-    std::map<ConnKey, std::shared_ptr<TcpSocket>> connections_;
+    ConnTable<std::shared_ptr<TcpSocket>> connections_;
     std::map<std::uint16_t, Listener> listeners_;
     TcpStackStats stats_;
     std::uint16_t next_ephemeral_ = 49152;

@@ -6,6 +6,7 @@
 #include <optional>
 #include <span>
 
+#include "util/buffer_pool.h"
 #include "util/byte_buffer.h"
 #include "util/ip_address.h"
 
@@ -37,6 +38,18 @@ struct TcpHeader {
 /// Serializes header + payload with checksum over the pseudo-header.
 util::ByteBuffer encode_tcp(const TcpHeader& header, util::Ipv4Address src,
                             util::Ipv4Address dst, std::span<const std::uint8_t> payload);
+
+/// The data-path encoder: emits [IPv4 headroom][TCP header(+MSS)][payload]
+/// into a pool buffer, gathering the payload from up to two spans (a ring
+/// buffer's wrap split). The first `headroom` bytes are reserved,
+/// uninitialized, for the IP layer to fill in place — see
+/// ip::IpStack::send_with_headroom. Wire bytes from offset `headroom` are
+/// identical to encode_tcp's output for the concatenated payload.
+util::ByteBuffer encode_tcp_segment(const TcpHeader& header, util::Ipv4Address src,
+                                    util::Ipv4Address dst,
+                                    std::span<const std::uint8_t> payload_a,
+                                    std::span<const std::uint8_t> payload_b,
+                                    std::size_t headroom, util::BufferPool& pool);
 
 /// Decodes and checksum-verifies a segment. Returns nullopt on checksum
 /// failure; throws util::DecodeError when structurally malformed.

@@ -36,11 +36,29 @@ public:
 
     /// Returns an empty buffer with at least `capacity_hint` reserved,
     /// reusing a retired buffer's allocation when one is available.
+    ///
+    /// Selection is first-fit from the most recently recycled end: traffic
+    /// mixes buffer sizes (40-byte ACKs between 1500-byte data segments),
+    /// and blindly taking the newest buffer would regrow a small one for a
+    /// large request — an allocation the pool exists to avoid. The scan is
+    /// O(1) when the newest buffer fits (homogeneous traffic) and bounded
+    /// by max_pooled otherwise; only when nothing pooled is big enough does
+    /// the reserve below actually allocate.
     ByteBuffer acquire(std::size_t capacity_hint) {
         ++stats_.acquires;
         if (!free_.empty()) {
             ++stats_.reuses;
-            ByteBuffer b = std::move(free_.back());
+            std::size_t pick = free_.size() - 1;
+            if (free_[pick].capacity() < capacity_hint) {
+                for (std::size_t i = free_.size(); i-- > 0;) {
+                    if (free_[i].capacity() >= capacity_hint) {
+                        pick = i;
+                        break;
+                    }
+                }
+            }
+            ByteBuffer b = std::move(free_[pick]);
+            free_[pick] = std::move(free_.back());
             free_.pop_back();
             b.clear();
             b.reserve(capacity_hint);

@@ -17,16 +17,4 @@ std::uint16_t checksum_update_u16(std::uint16_t checksum, std::uint16_t old_word
     return static_cast<std::uint16_t>(~sum & 0xffff);
 }
 
-std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst,
-                                 std::uint8_t protocol,
-                                 std::span<const std::uint8_t> segment) {
-    ChecksumAccumulator acc;
-    acc.add_u32(src.value());
-    acc.add_u32(dst.value());
-    acc.add_u16(protocol);  // zero byte + protocol
-    acc.add_u16(static_cast<std::uint16_t>(segment.size()));
-    acc.add(segment);
-    return acc.finish();
-}
-
 }  // namespace catenet::util

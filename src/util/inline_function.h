@@ -19,8 +19,11 @@ namespace catenet::util {
 class InlineCallback {
 public:
     /// Inline capture capacity. Large enough for a `this` pointer plus a
-    /// shared_ptr<Packet> plus assorted scalars with room to spare.
-    static constexpr std::size_t kInlineSize = 48;
+    /// link::Packet moved in by value plus a scalar — the largest capture in
+    /// the library is a LAN delivery (this + port index + Packet = 64 bytes),
+    /// which lets links carry in-flight packets inside the event slot instead
+    /// of through a side free list.
+    static constexpr std::size_t kInlineSize = 64;
 
     InlineCallback() noexcept = default;
     InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
@@ -30,13 +33,7 @@ public:
               typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
                                           std::is_invocable_r_v<void, D&>>>
     InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
-        if constexpr (fits_inline<D>()) {
-            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
-            ops_ = &kInlineOps<D>;
-        } else {
-            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
-            ops_ = &kHeapOps<D>;
-        }
+        emplace(std::forward<F>(f));
     }
 
     InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
@@ -60,6 +57,27 @@ public:
 
     /// True when the callable lives in the inline buffer (no heap node).
     bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+    /// Destroys any stored callable and constructs `f` directly in the
+    /// buffer. The scheduling hot path uses this to build the callable
+    /// in the event slot itself rather than move-assigning a temporary,
+    /// which would cost a relocation pair (move-construct into the
+    /// parameter, then again into the slot) per event for non-trivially-
+    /// copyable captures like an in-flight Packet.
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    void emplace(F&& f) {
+        reset();
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            ops_ = &kInlineOps<D>;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            ops_ = &kHeapOps<D>;
+        }
+    }
 
     /// Destroys the stored callable, leaving the callback empty.
     void reset() noexcept {

@@ -1,0 +1,99 @@
+// A contiguous power-of-two byte ring for TCP's send and receive buffers.
+// The seed kept these as std::deque<std::uint8_t>, which pays a block
+// allocation every few hundred bytes of throughput; the ring allocates once
+// at connection setup and never again. Because capacity is a power of two,
+// positions are free-running 64-bit counters masked on access — no modulo,
+// no wrap bookkeeping, and size() is a subtraction.
+//
+// Readers address bytes by *offset from the front* (TCP: offset from
+// snd_una_), so a retransmission is just a peek() at a smaller offset.
+// peek() returns at most two spans: the common case is one; a segment that
+// straddles the physical wrap point yields two, which is why the TCP encode
+// path takes a span pair and the copy count per segment stays ≤ 2.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace catenet::util {
+
+class RingBuffer {
+public:
+    /// Two views covering one logical byte range; `second` is empty unless
+    /// the range straddles the physical end of the ring.
+    struct Spans {
+        std::span<const std::uint8_t> first;
+        std::span<const std::uint8_t> second;
+        std::size_t size() const noexcept { return first.size() + second.size(); }
+    };
+
+    /// Capacity is rounded up to a power of two (minimum 1); this is the
+    /// only allocation the ring ever performs. The storage is deliberately
+    /// left uninitialized (`new[]` without value-init): a default send or
+    /// receive window is 64 KiB, and zero-filling two of those per socket
+    /// dominated connection setup. No read path can observe the garbage —
+    /// peek()/read() only view bytes below tail_, which write() has stored.
+    explicit RingBuffer(std::size_t capacity)
+        : capacity_(std::bit_ceil(capacity > 0 ? capacity : 1)),
+          data_(new std::uint8_t[capacity_]),
+          mask_(capacity_ - 1) {}
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t size() const noexcept { return static_cast<std::size_t>(tail_ - head_); }
+    std::size_t free_space() const noexcept { return capacity() - size(); }
+    bool empty() const noexcept { return head_ == tail_; }
+
+    /// Appends up to free_space() bytes; returns how many were taken.
+    std::size_t write(std::span<const std::uint8_t> bytes) noexcept {
+        const std::size_t n = std::min(bytes.size(), free_space());
+        if (n == 0) return 0;
+        const std::size_t at = static_cast<std::size_t>(tail_) & mask_;
+        const std::size_t run = std::min(n, capacity() - at);
+        std::memcpy(data_.get() + at, bytes.data(), run);
+        if (run < n) std::memcpy(data_.get(), bytes.data() + run, n - run);
+        tail_ += n;
+        return n;
+    }
+
+    /// Drops `n` bytes from the front (n <= size()).
+    void consume(std::size_t n) noexcept { head_ += n; }
+
+    /// Views bytes [offset, offset + len) counted from the front, without
+    /// consuming them. Precondition: offset + len <= size().
+    Spans peek(std::size_t offset, std::size_t len) const noexcept {
+        Spans s;
+        if (len == 0) return s;
+        const std::size_t at = static_cast<std::size_t>(head_ + offset) & mask_;
+        const std::size_t run = std::min(len, capacity() - at);
+        s.first = {data_.get() + at, run};
+        if (run < len) s.second = {data_.get(), len - run};
+        return s;
+    }
+
+    /// Copies bytes [offset, offset + out.size()) from the front into `out`.
+    /// Precondition: offset + out.size() <= size().
+    void read(std::size_t offset, std::span<std::uint8_t> out) const noexcept {
+        const Spans s = peek(offset, out.size());
+        std::memcpy(out.data(), s.first.data(), s.first.size());
+        if (!s.second.empty()) {
+            std::memcpy(out.data() + s.first.size(), s.second.data(), s.second.size());
+        }
+    }
+
+    void clear() noexcept { head_ = tail_ = 0; }
+
+private:
+    std::size_t capacity_;
+    std::unique_ptr<std::uint8_t[]> data_;
+    std::size_t mask_;
+    // Free-running positions: head_ counts consumed bytes, tail_ written
+    // ones. Unsigned wrap at 2^64 is far beyond any simulated transfer and
+    // harmless anyway — only the difference and the masked low bits matter.
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+}  // namespace catenet::util

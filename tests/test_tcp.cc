@@ -5,12 +5,48 @@
 // packet-sequenced ARQ baseline.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+
 #include "core/internetwork.h"
+#include "ip/protocols.h"
 #include "link/presets.h"
+#include "tcp/conn_table.h"
 #include "tcp/sequence.h"
 #include "tcp/simple_arq.h"
 #include "tcp/tcp.h"
 #include "tcp/tcp_header.h"
+#include "util/checksum.h"
+
+// Global allocation counter (same per-binary harness as test_sim.cc):
+// counts every operator-new in this binary; the steady-state tests below
+// measure deltas around windows that must never touch the allocator.
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+    ++g_heap_allocs;
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    ++g_heap_allocs;
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+// GCC flags free() inside replaced operator delete as mismatched when it
+// inlines both sides; the pairing here is malloc/free-consistent.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace catenet::tcp {
 namespace {
@@ -94,6 +130,267 @@ TEST(TcpHeaderCodec, AllFlagsRoundTrip) {
     EXPECT_TRUE(back->flags.fin && back->flags.syn && back->flags.rst &&
                 back->flags.psh && back->flags.ack && back->flags.urg);
     EXPECT_EQ(back->urgent_pointer, 99);
+}
+
+// --- codec byte identity ----------------------------------------------------
+//
+// The production encoder writes fields with direct stores; this reference
+// builds the same segment through the definitional bounds-checked writer.
+// The two must agree byte for byte on every header shape, or a peer
+// implementation would see different wires.
+
+util::ByteBuffer reference_encode(const TcpHeader& h, Ipv4Address src, Ipv4Address dst,
+                                  std::span<const std::uint8_t> payload) {
+    util::BufferWriter w;
+    w.put_u16(h.src_port);
+    w.put_u16(h.dst_port);
+    w.put_u32(h.seq);
+    w.put_u32(h.ack);
+    const std::size_t header_len = kTcpHeaderSize + (h.mss ? 4 : 0);
+    w.put_u8(static_cast<std::uint8_t>((header_len / 4) << 4));
+    std::uint8_t flags = 0;
+    if (h.flags.fin) flags |= 0x01;
+    if (h.flags.syn) flags |= 0x02;
+    if (h.flags.rst) flags |= 0x04;
+    if (h.flags.psh) flags |= 0x08;
+    if (h.flags.ack) flags |= 0x10;
+    if (h.flags.urg) flags |= 0x20;
+    w.put_u8(flags);
+    w.put_u16(h.window);
+    w.put_u16(0);  // checksum slot
+    w.put_u16(h.urgent_pointer);
+    if (h.mss) {
+        w.put_u8(2);
+        w.put_u8(4);
+        w.put_u16(*h.mss);
+    }
+    for (const auto byte : payload) w.put_u8(byte);
+    auto out = w.take();
+    const auto sum = util::transport_checksum(src, dst, ip::kProtoTcp, out);
+    out[16] = static_cast<std::uint8_t>(sum >> 8);
+    out[17] = static_cast<std::uint8_t>(sum & 0xff);
+    return out;
+}
+
+TEST(TcpHeaderCodec, DirectStoreEncoderMatchesReferenceByteForByte) {
+    const Ipv4Address src(10, 1, 2, 3), dst(172, 16, 254, 9);
+    util::Rng rng(2024);
+    for (int trial = 0; trial < 64; ++trial) {
+        TcpHeader h;
+        h.src_port = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.dst_port = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.seq = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffu));
+        h.ack = static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffu));
+        h.flags.fin = rng.chance(0.3);
+        h.flags.syn = rng.chance(0.3);
+        h.flags.rst = rng.chance(0.2);
+        h.flags.psh = rng.chance(0.5);
+        h.flags.ack = rng.chance(0.8);
+        h.flags.urg = rng.chance(0.1);
+        h.window = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        h.urgent_pointer = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+        if (rng.chance(0.5)) h.mss = static_cast<std::uint16_t>(rng.uniform(1, 0xffff));
+
+        // Odd and even payload lengths both matter: the checksum pass pads
+        // odd tails.
+        util::ByteBuffer payload(rng.uniform(0, 1461));
+        for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+
+        const auto wire = encode_tcp(h, src, dst, payload);
+        const auto ref = reference_encode(h, src, dst, payload);
+        ASSERT_EQ(wire, ref) << "trial " << trial << " payload " << payload.size();
+
+        std::span<const std::uint8_t> decoded_payload;
+        const auto back = decode_tcp(src, dst, wire, decoded_payload);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(decoded_payload.size(), payload.size());
+    }
+}
+
+TEST(TcpHeaderCodec, GatheringEncoderMatchesContiguousAtEverySplit) {
+    // encode_tcp_segment takes the payload as two spans (a ring buffer's
+    // wrap); wherever the seam lands, the bytes past the headroom must be
+    // identical to the contiguous encoding.
+    const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+    util::BufferPool pool(8);
+    TcpHeader h;
+    h.src_port = 4000;
+    h.dst_port = 80;
+    h.seq = 0x01020304;
+    h.ack = 0x0a0b0c0d;
+    h.flags.ack = true;
+    h.flags.psh = true;
+    h.window = 32768;
+
+    util::ByteBuffer payload(537);  // odd length on purpose
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    }
+    const auto contiguous = encode_tcp(h, src, dst, payload);
+    const std::span<const std::uint8_t> view(payload);
+    constexpr std::size_t kHeadroom = 20;
+
+    for (const std::size_t split :
+         {std::size_t{0}, std::size_t{1}, std::size_t{268}, payload.size() - 1,
+          payload.size()}) {
+        auto wire = encode_tcp_segment(h, src, dst, view.first(split),
+                                       view.subspan(split), kHeadroom, pool);
+        ASSERT_EQ(wire.size(), kHeadroom + contiguous.size()) << "split " << split;
+        EXPECT_TRUE(std::equal(wire.begin() + kHeadroom, wire.end(),
+                               contiguous.begin(), contiguous.end()))
+            << "split " << split;
+        pool.recycle(std::move(wire));
+    }
+}
+
+// Re-checksums a hand-mangled segment so it reaches the structural checks
+// (decode_tcp validates the checksum before anything else).
+void fix_checksum(util::ByteBuffer& seg, Ipv4Address src, Ipv4Address dst) {
+    seg[16] = seg[17] = 0;
+    const auto sum = util::transport_checksum(src, dst, ip::kProtoTcp, seg);
+    seg[16] = static_cast<std::uint8_t>(sum >> 8);
+    seg[17] = static_cast<std::uint8_t>(sum & 0xff);
+}
+
+TEST(TcpHeaderCodec, MalformedStructureThrowsNotCrashes) {
+    const Ipv4Address src(1, 2, 3, 4), dst(5, 6, 7, 8);
+    std::span<const std::uint8_t> payload;
+    TcpHeader h;
+    h.flags.ack = true;
+
+    // Data offset below the fixed header (3 words).
+    auto wire = encode_tcp(h, src, dst, {});
+    wire[12] = 0x30;
+    fix_checksum(wire, src, dst);
+    EXPECT_THROW((void)decode_tcp(src, dst, wire, payload), util::DecodeError);
+
+    // Data offset past the end of the segment.
+    wire = encode_tcp(h, src, dst, {});
+    wire[12] = 0xf0;  // 60-byte header claimed on a 20-byte segment
+    fix_checksum(wire, src, dst);
+    EXPECT_THROW((void)decode_tcp(src, dst, wire, payload), util::DecodeError);
+
+    // Option kind with no room for its length byte.
+    h.mss = 1460;
+    wire = encode_tcp(h, src, dst, {});
+    wire[20] = 1;  // NOP
+    wire[21] = 1;  // NOP
+    wire[22] = 1;  // NOP
+    wire[23] = 2;  // MSS kind as the very last option byte: length truncated
+    fix_checksum(wire, src, dst);
+    EXPECT_THROW((void)decode_tcp(src, dst, wire, payload), util::DecodeError);
+
+    // Option length smaller than the two mandatory bytes.
+    wire = encode_tcp(h, src, dst, {});
+    wire[21] = 1;
+    fix_checksum(wire, src, dst);
+    EXPECT_THROW((void)decode_tcp(src, dst, wire, payload), util::DecodeError);
+
+    // Option length overrunning the header.
+    wire = encode_tcp(h, src, dst, {});
+    wire[21] = 40;
+    fix_checksum(wire, src, dst);
+    EXPECT_THROW((void)decode_tcp(src, dst, wire, payload), util::DecodeError);
+
+    // NOP padding and end-of-options remain legal.
+    wire = encode_tcp(h, src, dst, {});
+    wire[20] = 1;
+    wire[21] = 1;
+    wire[22] = 0;
+    wire[23] = 0;
+    fix_checksum(wire, src, dst);
+    const auto back = decode_tcp(src, dst, wire, payload);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->mss.has_value());
+}
+
+// --- connection table -------------------------------------------------------
+
+TEST(ConnTable, InsertFindEraseBasics) {
+    ConnTable<int> table;
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.find(1), nullptr);
+    table.insert(make_conn_key(0x0a000001, 80, 49152), 7);
+    table.insert(make_conn_key(0x0a000001, 80, 49153), 8);
+    ASSERT_NE(table.find(make_conn_key(0x0a000001, 80, 49152)), nullptr);
+    EXPECT_EQ(*table.find(make_conn_key(0x0a000001, 80, 49152)), 7);
+    EXPECT_EQ(table.size(), 2u);
+    table.insert(make_conn_key(0x0a000001, 80, 49152), 9);  // overwrite
+    EXPECT_EQ(*table.find(make_conn_key(0x0a000001, 80, 49152)), 9);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_TRUE(table.erase(make_conn_key(0x0a000001, 80, 49152)));
+    EXPECT_FALSE(table.erase(make_conn_key(0x0a000001, 80, 49152)));
+    EXPECT_EQ(table.find(make_conn_key(0x0a000001, 80, 49152)), nullptr);
+    EXPECT_EQ(*table.find(make_conn_key(0x0a000001, 80, 49153)), 8);
+}
+
+TEST(ConnTable, KeyPackingKeepsLanesDistinct) {
+    const auto k = make_conn_key(0xc0a80001, 0x1234, 0x5678);
+    EXPECT_EQ(conn_key_local_port(k), 0x5678);
+    EXPECT_NE(make_conn_key(0xc0a80001, 0x1234, 0x5679), k);
+    EXPECT_NE(make_conn_key(0xc0a80001, 0x1235, 0x5678), k);
+    EXPECT_NE(make_conn_key(0xc0a80002, 0x1234, 0x5678), k);
+}
+
+TEST(ConnTable, ChurnMatchesReferenceMap) {
+    // Randomized insert/erase/find storm over a deliberately small key pool
+    // (forces collisions and long probe chains) checked against
+    // std::unordered_map. Backward-shift deletion bugs show up here as
+    // lookups that die early at a hole.
+    ConnTable<std::uint64_t> table;
+    std::unordered_map<std::uint64_t, std::uint64_t> reference;
+    util::Rng rng(5150);
+    for (int op = 0; op < 20000; ++op) {
+        const auto key = make_conn_key(0x0a000000 + rng.uniform(0, 7),
+                                       static_cast<std::uint16_t>(rng.uniform(0, 3)),
+                                       static_cast<std::uint16_t>(rng.uniform(0, 31)));
+        const auto roll = rng.uniform(0, 99);
+        if (roll < 45) {
+            const std::uint64_t value = op;
+            table.insert(key, value);
+            reference[key] = value;
+        } else if (roll < 75) {
+            EXPECT_EQ(table.erase(key), reference.erase(key) > 0) << "op " << op;
+        } else {
+            auto* found = table.find(key);
+            auto it = reference.find(key);
+            ASSERT_EQ(found != nullptr, it != reference.end()) << "op " << op;
+            if (found != nullptr) {
+                EXPECT_EQ(*found, it->second);
+            }
+        }
+        ASSERT_EQ(table.size(), reference.size());
+    }
+    // Every survivor is visible to iteration, once.
+    std::size_t visited = 0;
+    table.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+        ++visited;
+        auto it = reference.find(key);
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(value, it->second);
+    });
+    EXPECT_EQ(visited, reference.size());
+}
+
+TEST(ConnTable, GrowthPreservesEveryEntry) {
+    ConnTable<std::size_t> table;
+    constexpr std::size_t kCount = 1000;  // forces many doublings from 16
+    for (std::size_t i = 0; i < kCount; ++i) {
+        table.insert(make_conn_key(static_cast<std::uint32_t>(i * 2654435761u),
+                                   static_cast<std::uint16_t>(i), 80),
+                     i);
+    }
+    EXPECT_EQ(table.size(), kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+        auto* v = table.find(make_conn_key(static_cast<std::uint32_t>(i * 2654435761u),
+                                           static_cast<std::uint16_t>(i), 80));
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_TRUE(table.any_of(
+        [](std::uint64_t, const std::size_t& v) { return v == kCount - 1; }));
+    EXPECT_FALSE(
+        table.any_of([](std::uint64_t, const std::size_t& v) { return v == kCount; }));
 }
 
 // --- behaviour fixture --------------------------------------------------------
@@ -603,6 +900,166 @@ TEST_F(TcpPair, RetransmissionRepacketizesAtCurrentMss) {
     // 100, i.e. retransmissions carried more than the original tinygrams.
     EXPECT_GT(st.retransmitted_bytes, st.retransmitted_segments * 100)
         << "byte sequencing must coalesce retransmissions";
+}
+
+// --- header prediction ---------------------------------------------------------------
+
+TEST_F(TcpPair, HeaderPredictionCarriesBulkTransfer) {
+    wire();
+    serve(80);
+    auto client = a.tcp().connect(b.address(), 80);
+    constexpr std::size_t kBytes = 48 * 1024;
+    client->on_connected = [&] { client->send(util::ByteBuffer(kBytes, 0x42)); };
+    net.run_for(sim::seconds(5));
+    ASSERT_EQ(last_server()->received.size(), kBytes);
+
+    // Steady-state bulk traffic is exactly the two predicted shapes: the
+    // receiver should take nearly every data segment on the fast path, the
+    // sender nearly every ACK.
+    const auto& server_stats = last_server()->socket->stats();
+    const auto& client_stats = client->stats();
+    EXPECT_GT(server_stats.fast_path_data, server_stats.segments_received / 2);
+    EXPECT_GT(client_stats.fast_path_acks, 0u);
+    EXPECT_EQ(server_stats.bytes_received, kBytes);
+}
+
+TEST_F(TcpPair, FastPathStaysOffDuringRecovery) {
+    // With loss in play the fast path must keep yielding to the slow path
+    // (dup ACKs, rewinds, reassembly) without corrupting the stream — and
+    // the transfer still completes exactly.
+    link::LinkParams params = link::presets::ethernet_hop();
+    params.drop_probability = 0.05;
+    wire(params);
+    serve(80);
+    auto client = a.tcp().connect(b.address(), 80);
+    constexpr std::size_t kBytes = 48 * 1024;
+    client->on_connected = [&] { client->send(util::ByteBuffer(kBytes, 0x17)); };
+    net.run_for(sim::seconds(60));
+    ASSERT_EQ(last_server()->received.size(), kBytes);
+    EXPECT_GT(last_server()->socket->stats().out_of_order_segments, 0u);
+}
+
+// --- steady-state allocation freedom ---------------------------------------------------
+
+TEST(TcpAllocation, TimerChurnReschedulesWithoutAllocating) {
+    // A request/response ping-pong exercises the timer hot path on every
+    // leg: RTO re-arm (in-place reschedule), delayed-ACK arm
+    // (schedule_if_idle) and its lazy no-op fire. After warm-up none of it
+    // may touch the heap.
+    core::Internetwork net(77);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    net.connect(a, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    std::shared_ptr<TcpSocket> server;
+    b.tcp().listen(80, [&](std::shared_ptr<TcpSocket> s) {
+        server = s;
+        s->on_data = [&](std::span<const std::uint8_t> d) { server->send(d); };
+    });
+    util::ByteBuffer ball(512, 0x42);
+    std::uint64_t rounds = 0;
+    auto client = a.tcp().connect(b.address(), 80);
+    client->on_data = [&](std::span<const std::uint8_t>) {
+        ++rounds;
+        client->send(ball);
+    };
+    client->on_connected = [&] { client->send(ball); };
+
+    net.run_for(sim::seconds(3));
+    ASSERT_GT(rounds, 100u);
+    const auto rounds_before = rounds;
+    const std::uint64_t before = g_heap_allocs;
+    net.run_for(sim::seconds(3));
+    EXPECT_GT(rounds, rounds_before + 100);
+    EXPECT_EQ(g_heap_allocs - before, 0u)
+        << "timer churn on the established path must not allocate";
+}
+
+TEST(TcpAllocation, EstablishedBulkTransferOverFourHopsIsAllocationFree) {
+    // The acceptance bar for the data-path rebuild: an Established bulk
+    // transfer across four store-and-forward hops runs with zero heap
+    // allocations per segment once rings, pools and caches are warm —
+    // sender segmentation, gateway forwarding, receiver delivery, ACK
+    // return, congestion bookkeeping, all of it.
+    core::Internetwork net(88);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    core::Node* prev = &a;
+    for (int i = 0; i < 3; ++i) {
+        core::Gateway& gw = net.add_gateway("g" + std::to_string(i));
+        net.connect(*prev, gw, link::presets::ethernet_hop());
+        prev = &gw;
+    }
+    net.connect(*prev, b, link::presets::ethernet_hop());
+    net.use_static_routes();
+
+    std::size_t received = 0;
+    std::shared_ptr<TcpSocket> server;
+    b.tcp().listen(80, [&](std::shared_ptr<TcpSocket> s) {
+        server = s;
+        s->on_data = [&](std::span<const std::uint8_t> d) { received += d.size(); };
+    });
+    auto client = a.tcp().connect(b.address(), 80);
+    util::ByteBuffer chunk(16 * 1024, 0x5a);
+    auto pump = [&] {
+        while (client->send(chunk) == chunk.size()) {
+        }
+    };
+    client->on_connected = pump;
+    client->on_send_space = pump;
+
+    net.run_for(sim::seconds(3));  // handshake, slow start, pools warming
+    ASSERT_GT(received, std::size_t{100} * 1024);
+    const auto received_before = received;
+    const std::uint64_t before = g_heap_allocs;
+    net.run_for(sim::seconds(3));
+    EXPECT_GT(received, received_before + std::size_t{100} * 1024);
+    EXPECT_EQ(g_heap_allocs - before, 0u)
+        << "heap allocations on the steady-state TCP data path";
+    EXPECT_GT(client->stats().fast_path_acks, 0u);
+    EXPECT_GT(server->stats().fast_path_data, 0u);
+}
+
+TEST(TcpAllocation, ReorderingRecoveryReusesPooledBuffers) {
+    // Sustained loss keeps the receiver's reassembly queue busy: every hole
+    // parks segments out of order. The queue's entries live in a vector
+    // reserved at connection setup and its payloads in pool buffers, so
+    // once warm even a reordering-heavy steady state allocates nothing.
+    core::Internetwork net(99);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    link::LinkParams params = link::presets::ethernet_hop();
+    params.drop_probability = 0.02;
+    net.connect(a, b, params);
+    net.use_static_routes();
+
+    std::size_t received = 0;
+    std::shared_ptr<TcpSocket> server;
+    b.tcp().listen(80, [&](std::shared_ptr<TcpSocket> s) {
+        server = s;
+        s->on_data = [&](std::span<const std::uint8_t> d) { received += d.size(); };
+    });
+    auto client = a.tcp().connect(b.address(), 80);
+    util::ByteBuffer chunk(16 * 1024, 0x3c);
+    auto pump = [&] {
+        while (client->send(chunk) == chunk.size()) {
+        }
+    };
+    client->on_connected = pump;
+    client->on_send_space = pump;
+
+    net.run_for(sim::seconds(10));
+    ASSERT_GT(received, std::size_t{100} * 1024);
+    ASSERT_GT(server->stats().out_of_order_segments, 10u)
+        << "the loss rate must actually exercise reassembly";
+    const auto ooo_before = server->stats().out_of_order_segments;
+    const std::uint64_t before = g_heap_allocs;
+    net.run_for(sim::seconds(10));
+    EXPECT_GT(server->stats().out_of_order_segments, ooo_before)
+        << "reordering must continue during the measured window";
+    EXPECT_EQ(g_heap_allocs - before, 0u)
+        << "reassembly churn must recycle, not allocate";
 }
 
 // --- ARQ baseline transport ----------------------------------------------------------

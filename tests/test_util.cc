@@ -9,6 +9,7 @@
 #include "util/checksum.h"
 #include "util/ip_address.h"
 #include "util/random.h"
+#include "util/ring_buffer.h"
 #include "util/stats.h"
 
 namespace catenet::util {
@@ -310,6 +311,106 @@ TEST(Histogram, BucketsAndOverflow) {
     EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(9), 1u);
     EXPECT_EQ(h.total(), 5u);
+}
+
+// --- ring buffer --------------------------------------------------------
+
+TEST(RingBuffer, RoundsCapacityUpToPowerOfTwo) {
+    EXPECT_EQ(RingBuffer(1000).capacity(), 1024u);
+    EXPECT_EQ(RingBuffer(1024).capacity(), 1024u);
+    EXPECT_EQ(RingBuffer(1).capacity(), 1u);
+    EXPECT_EQ(RingBuffer(0).capacity(), 1u);
+}
+
+TEST(RingBuffer, WriteBoundedByFreeSpace) {
+    RingBuffer ring(8);
+    const std::uint8_t data[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    EXPECT_EQ(ring.write(data), 8u);
+    EXPECT_EQ(ring.size(), 8u);
+    EXPECT_EQ(ring.free_space(), 0u);
+    EXPECT_EQ(ring.write(data), 0u);
+    ring.consume(3);
+    EXPECT_EQ(ring.write(data), 3u);
+    EXPECT_EQ(ring.size(), 8u);
+}
+
+TEST(RingBuffer, PeekSplitsOnlyAtPhysicalWrap) {
+    RingBuffer ring(8);
+    const std::uint8_t first[6] = {1, 2, 3, 4, 5, 6};
+    ASSERT_EQ(ring.write(first), 6u);
+    ring.consume(4);  // head at 4, tail at 6
+    const std::uint8_t second[5] = {7, 8, 9, 10, 11};
+    ASSERT_EQ(ring.write(second), 5u);  // tail wraps: bytes 9,10,11 at slots 0..2
+
+    // Contiguous range: one span.
+    auto s = ring.peek(0, 2);
+    EXPECT_EQ(s.first.size(), 2u);
+    EXPECT_TRUE(s.second.empty());
+    EXPECT_EQ(s.first[0], 5);
+
+    // Range across the wrap: exactly two spans, contents in order.
+    s = ring.peek(1, 6);
+    EXPECT_EQ(s.size(), 6u);
+    EXPECT_EQ(s.first.size(), 3u);
+    EXPECT_EQ(s.second.size(), 3u);
+    const std::uint8_t expected[] = {6, 7, 8, 9, 10, 11};
+    std::uint8_t got[6];
+    ring.read(1, got);
+    EXPECT_TRUE(std::equal(std::begin(got), std::end(got), std::begin(expected)));
+    EXPECT_EQ(s.first[0], 6);
+    EXPECT_EQ(s.second[2], 11);
+}
+
+TEST(RingBuffer, ReadAtOffsetDoesNotConsume) {
+    RingBuffer ring(16);
+    const std::uint8_t data[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    ring.write(data);
+    std::uint8_t out[4];
+    ring.read(3, out);
+    EXPECT_EQ(out[0], 3);
+    EXPECT_EQ(out[3], 6);
+    EXPECT_EQ(ring.size(), 10u);
+    ring.consume(10);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, SurvivesLongWrappingTraffic) {
+    // Grind a small ring with a pseudo-random produce/consume schedule and
+    // check byte-for-byte against a straightforward shadow model.
+    RingBuffer ring(64);
+    Rng rng(1988);
+    ByteBuffer shadow;
+    std::uint8_t next = 0;
+    for (int round = 0; round < 2000; ++round) {
+        ByteBuffer chunk(rng.uniform(0, 80));
+        for (auto& b : chunk) b = next++;
+        const std::size_t free_before = ring.free_space();
+        const auto taken = ring.write(chunk);
+        EXPECT_EQ(taken, std::min(chunk.size(), free_before));
+        shadow.insert(shadow.end(), chunk.begin(), chunk.begin() + taken);
+
+        const std::size_t drop = rng.uniform(0, ring.size());
+        if (ring.size() > 0) {
+            ByteBuffer got(ring.size());
+            ring.read(0, got);
+            ASSERT_EQ(got, shadow) << "round " << round;
+        }
+        ring.consume(drop);
+        shadow.erase(shadow.begin(), shadow.begin() + drop);
+    }
+}
+
+TEST(RingBuffer, ClearResets) {
+    RingBuffer ring(8);
+    const std::uint8_t data[5] = {1, 2, 3, 4, 5};
+    ring.write(data);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.free_space(), 8u);
+    EXPECT_EQ(ring.write(data), 5u);
+    std::uint8_t out[5];
+    ring.read(0, out);
+    EXPECT_EQ(out[4], 5);
 }
 
 // --- rng ----------------------------------------------------------------

@@ -1,23 +1,110 @@
 #include "core/internetwork.h"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace catenet::core {
 
+std::vector<std::uint32_t> partition_topology(std::size_t node_count,
+                                              std::vector<PartitionEdge> edges,
+                                              std::size_t shards) {
+    if (shards == 0) throw std::invalid_argument("partition_topology: zero shards");
+    // Union-find over node indices.
+    std::vector<std::size_t> parent(node_count);
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    auto find = [&parent](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    std::size_t components = node_count;
+    auto unite = [&](std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        // Deterministic root choice: lower index wins.
+        if (b < a) std::swap(a, b);
+        parent[b] = a;
+        --components;
+    };
+
+    for (const PartitionEdge& e : edges) {
+        if (!e.cuttable) unite(e.a, e.b);
+    }
+    // Contract low-lookahead edges first, so the cut that survives is the
+    // set of highest-latency links — the best lookahead the topology has.
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const PartitionEdge& x, const PartitionEdge& y) {
+                         if (x.lookahead_ns != y.lookahead_ns)
+                             return x.lookahead_ns < y.lookahead_ns;
+                         if (x.a != y.a) return x.a < y.a;
+                         return x.b < y.b;
+                     });
+    for (const PartitionEdge& e : edges) {
+        if (components <= shards) break;
+        if (e.cuttable) unite(e.a, e.b);
+    }
+
+    // Components, largest first (min node index breaks size ties), packed
+    // onto the least-loaded shard (lowest id breaks load ties): LPT.
+    std::map<std::size_t, std::size_t> size_of;  // root -> node count
+    for (std::size_t i = 0; i < node_count; ++i) ++size_of[find(i)];
+    std::vector<std::pair<std::size_t, std::size_t>> comps(size_of.begin(),
+                                                           size_of.end());
+    std::stable_sort(comps.begin(), comps.end(),
+                     [](const auto& x, const auto& y) {
+                         if (x.second != y.second) return x.second > y.second;
+                         return x.first < y.first;
+                     });
+    std::vector<std::size_t> load(shards, 0);
+    std::map<std::size_t, std::uint32_t> shard_of_root;
+    for (const auto& [root, size] : comps) {
+        const auto lightest = static_cast<std::uint32_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        shard_of_root[root] = lightest;
+        load[lightest] += size;
+    }
+    std::vector<std::uint32_t> out(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) out[i] = shard_of_root[find(i)];
+    return out;
+}
+
 Internetwork::Internetwork(std::uint64_t seed) : rng_(seed) {}
 
-Host& Internetwork::add_host(const std::string& name) {
-    hosts_.push_back(std::make_unique<Host>(sim_, name, rng_));
+Internetwork::Internetwork(std::uint64_t seed, sim::ParallelSimulator& psim)
+    : psim_(&psim), rng_(seed) {}
+
+void Internetwork::check_shard(std::uint32_t shard) const {
+    const std::size_t count = psim_ != nullptr ? psim_->shard_count() : 1;
+    if (shard >= count) {
+        throw std::out_of_range("Internetwork: shard " + std::to_string(shard) +
+                                " out of range (have " + std::to_string(count) + ")");
+    }
+}
+
+Host& Internetwork::add_host(const std::string& name, std::uint32_t shard) {
+    check_shard(shard);
+    hosts_.push_back(std::make_unique<Host>(shard_sim(shard), name, rng_));
     node_ptrs_.push_back(hosts_.back().get());
+    shard_of_[hosts_.back().get()] = shard;
     return *hosts_.back();
 }
 
-Gateway& Internetwork::add_gateway(const std::string& name) {
-    gateways_.push_back(std::make_unique<Gateway>(sim_, name));
+Gateway& Internetwork::add_gateway(const std::string& name, std::uint32_t shard) {
+    check_shard(shard);
+    gateways_.push_back(std::make_unique<Gateway>(shard_sim(shard), name));
     node_ptrs_.push_back(gateways_.back().get());
+    shard_of_[gateways_.back().get()] = shard;
     return *gateways_.back();
+}
+
+std::uint32_t Internetwork::shard_of(const Node& node) const {
+    return shard_of_.at(&node);
 }
 
 util::Ipv4Prefix Internetwork::allocate_subnet() {
@@ -34,23 +121,47 @@ std::size_t Internetwork::connect(Node& a, Node& b, const link::LinkParams& para
     const util::Ipv4Address addr_a(subnet.address().value() + 1);
     const util::Ipv4Address addr_b(subnet.address().value() + 2);
 
-    auto link = std::make_unique<link::PointToPointLink>(
-        sim_, rng_, params, a.name() + "-" + b.name());
-    const std::size_t if_a = a.ip().add_interface(link->port_a(), addr_a, subnet);
-    const std::size_t if_b = b.ip().add_interface(link->port_b(), addr_b, subnet);
+    const std::uint32_t shard_a = psim_ != nullptr ? shard_of(a) : 0;
+    const std::uint32_t shard_b = psim_ != nullptr ? shard_of(b) : 0;
+
+    std::size_t index;
+    std::size_t if_a, if_b;
+    if (shard_a == shard_b) {
+        auto link = std::make_unique<link::PointToPointLink>(
+            shard_sim(shard_a), rng_, params, a.name() + "-" + b.name());
+        if_a = a.ip().add_interface(link->port_a(), addr_a, subnet);
+        if_b = b.ip().add_interface(link->port_b(), addr_b, subnet);
+        links_.push_back(std::move(link));
+        index = links_.size() - 1;
+    } else {
+        // The ends live in different shards: the wire becomes the
+        // synchronization surface. Both directions register with the
+        // parallel driver here, in construction order, which fixes the
+        // deterministic cross-channel tie-break ranks.
+        auto link = std::make_unique<link::BoundaryLink>(
+            shard_sim(shard_a), shard_a, shard_sim(shard_b), shard_b, rng_, params,
+            a.name() + "-" + b.name());
+        psim_->register_channel(&link->channel_a_to_b());
+        psim_->register_channel(&link->channel_b_to_a());
+        if_a = a.ip().add_interface(link->port_a(), addr_a, subnet);
+        if_b = b.ip().add_interface(link->port_b(), addr_b, subnet);
+        boundary_links_.push_back(std::move(link));
+        index = kBoundaryIndexBase + boundary_links_.size() - 1;
+    }
 
     adjacency_[&a].push_back(EdgeRef{&b, if_a, addr_b});
     adjacency_[&b].push_back(EdgeRef{&a, if_b, addr_a});
     subnets_.push_back(Subnet{subnet, {{&a, if_a, addr_a}, {&b, if_b, addr_b}}});
-
-    links_.push_back(std::move(link));
-    return links_.size() - 1;
+    return index;
 }
 
-std::size_t Internetwork::add_lan(const link::LanParams& params, const std::string& name) {
-    lans_.push_back(std::make_unique<link::Lan>(sim_, rng_, params, name));
+std::size_t Internetwork::add_lan(const link::LanParams& params, const std::string& name,
+                                  std::uint32_t shard) {
+    check_shard(shard);
+    lans_.push_back(std::make_unique<link::Lan>(shard_sim(shard), rng_, params, name));
     const std::size_t index = lans_.size() - 1;
     lan_next_host_.push_back(1);
+    lan_shard_.push_back(shard);
     lan_subnet_[index] = allocate_subnet();
     subnets_.push_back(Subnet{lan_subnet_[index], {}});
     return index;
@@ -58,6 +169,12 @@ std::size_t Internetwork::add_lan(const link::LanParams& params, const std::stri
 
 util::Ipv4Address Internetwork::attach_to_lan(Node& node, std::size_t lan_index) {
     auto& lan = *lans_.at(lan_index);
+    if (psim_ != nullptr && shard_of(node) != lan_shard_.at(lan_index)) {
+        // A LAN's medium (contention, broadcast) is one shared state; it
+        // cannot straddle shards. Cut at point-to-point links instead.
+        throw std::logic_error("attach_to_lan: node " + node.name() +
+                               " is in a different shard than the LAN");
+    }
     const auto subnet = lan_subnet_.at(lan_index);
     const std::size_t host_octet = lan_next_host_.at(lan_index)++;
     if (host_octet >= 255) throw std::runtime_error("LAN address space exhausted");
@@ -170,10 +287,21 @@ std::uint64_t Internetwork::total_link_bytes() const {
     for (const auto& link : links_) {
         total += link->port_a().stats().bytes_sent + link->port_b().stats().bytes_sent;
     }
+    for (const auto& link : boundary_links_) {
+        total += link->total_bytes_sent();
+    }
     for (const auto& lan : lans_) {
         total += lan->total_bytes_sent();
     }
     return total;
+}
+
+void Internetwork::run_for(sim::Time duration) {
+    if (psim_ != nullptr) {
+        psim_->run_until(psim_->now() + duration);
+    } else {
+        sim_.run_until(sim_.now() + duration);
+    }
 }
 
 }  // namespace catenet::core

@@ -4,6 +4,15 @@
 // installs routing (oracle static routes or the real protocols), and
 // injects failures. Every experiment and example builds its topology
 // through this class.
+//
+// A builder bound to a sim::ParallelSimulator places each node in a shard
+// (the `shard` argument on add_host/add_gateway/add_lan). connect() then
+// picks the link type automatically: same shard — the ordinary
+// PointToPointLink; different shards — a link::BoundaryLink whose latency
+// becomes the conservative engine's lookahead. Addressing, adjacency and
+// static routing are oblivious to the partition, which is the paper's
+// fate-sharing argument doing real work: nothing in the network layer
+// knows or cares where the shard boundary falls.
 #pragma once
 
 #include <cstdint>
@@ -13,35 +22,75 @@
 #include <vector>
 
 #include "core/node.h"
+#include "link/boundary.h"
 #include "link/lan.h"
 #include "link/point_to_point.h"
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "util/random.h"
 
 namespace catenet::core {
 
+/// One edge of the node graph as seen by the partitioner.
+struct PartitionEdge {
+    std::size_t a = 0;  ///< node indices (order of add_host/add_gateway)
+    std::size_t b = 0;
+    std::int64_t lookahead_ns = 0;  ///< link propagation + 1-byte serialization
+    bool cuttable = true;  ///< false pins both ends into one shard (e.g. LANs)
+};
+
+/// Greedy latency-aware partition of a node graph into `shards` parts.
+/// Non-cuttable edges are contracted first; then cuttable edges merge in
+/// ascending lookahead order until at most `shards` components remain —
+/// the surviving cut set is the highest-latency edges, which maximizes the
+/// conservative engine's lookahead. Components pack into shards largest
+/// first onto the least-loaded shard. Fully deterministic. Returns the
+/// shard id per node.
+std::vector<std::uint32_t> partition_topology(std::size_t node_count,
+                                              std::vector<PartitionEdge> edges,
+                                              std::size_t shards);
+
 class Internetwork {
 public:
     explicit Internetwork(std::uint64_t seed);
+
+    /// A builder whose nodes live in `psim`'s shards. `psim` must outlive
+    /// the Internetwork. Node/link construction order must be identical
+    /// across runs (it is the RNG fork order and the channel id order).
+    Internetwork(std::uint64_t seed, sim::ParallelSimulator& psim);
+
     Internetwork(const Internetwork&) = delete;
     Internetwork& operator=(const Internetwork&) = delete;
 
-    sim::Simulator& sim() noexcept { return sim_; }
+    /// The (only) simulator in sequential mode; shard 0's in parallel mode.
+    sim::Simulator& sim() noexcept { return shard_sim(0); }
+    /// The simulator a given shard's nodes schedule on.
+    sim::Simulator& shard_sim(std::uint32_t shard) noexcept {
+        return psim_ != nullptr ? psim_->shard(shard) : sim_;
+    }
+    sim::ParallelSimulator* parallel() noexcept { return psim_; }
     util::Rng& rng() noexcept { return rng_; }
 
     // --- topology ------------------------------------------------------
-    Host& add_host(const std::string& name);
-    Gateway& add_gateway(const std::string& name);
+    Host& add_host(const std::string& name, std::uint32_t shard = 0);
+    Gateway& add_gateway(const std::string& name, std::uint32_t shard = 0);
 
-    /// Connects two nodes with a point-to-point link; allocates a /24 and
-    /// binds .1 (a's side) and .2 (b's side). Returns the link index.
+    /// Connects two nodes with a link; allocates a /24 and binds .1 (a's
+    /// side) and .2 (b's side). Same shard: a PointToPointLink, returns
+    /// its index. Different shards: a BoundaryLink, returns
+    /// kBoundaryIndexBase + boundary index (fail_link/link() reject such
+    /// indices; use boundary_link()).
     std::size_t connect(Node& a, Node& b, const link::LinkParams& params);
 
-    /// Creates a shared LAN segment; returns its index.
-    std::size_t add_lan(const link::LanParams& params, const std::string& name = "lan");
+    /// Creates a shared LAN segment; returns its index. All attachees must
+    /// live in `shard` — a LAN's contention model is a single shared state.
+    std::size_t add_lan(const link::LanParams& params, const std::string& name = "lan",
+                        std::uint32_t shard = 0);
 
     /// Attaches a node to a LAN; returns the address it was given.
     util::Ipv4Address attach_to_lan(Node& node, std::size_t lan_index);
+
+    std::uint32_t shard_of(const Node& node) const;
 
     // --- routing --------------------------------------------------------
     /// Installs oracle shortest-path static routes everywhere (topology
@@ -61,17 +110,30 @@ public:
     void restore_link(std::size_t link_index) { links_.at(link_index)->set_up(true); }
 
     // --- access & metrics ----------------------------------------------
+    static constexpr std::size_t kBoundaryIndexBase = std::size_t{1} << 32;
+
     link::PointToPointLink& link(std::size_t i) { return *links_.at(i); }
     link::Lan& lan(std::size_t i) { return *lans_.at(i); }
     std::size_t link_count() const noexcept { return links_.size(); }
+
+    /// Accepts a raw boundary index or a connect() return value.
+    link::BoundaryLink& boundary_link(std::size_t i) {
+        return *boundary_links_.at(i >= kBoundaryIndexBase ? i - kBoundaryIndexBase : i);
+    }
+    std::size_t boundary_link_count() const noexcept { return boundary_links_.size(); }
+
     const std::vector<Node*>& nodes() const noexcept { return node_ptrs_; }
 
     /// Total bytes clocked onto all wires — the "byte-hops" cost metric
     /// for the E5 experiments.
     std::uint64_t total_link_bytes() const;
 
-    /// Runs the simulation for `duration` of simulated time.
-    void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+    /// Runs the simulation for `duration` of simulated time (all shards,
+    /// in parallel mode).
+    void run_for(sim::Time duration);
+    sim::Time now() const noexcept {
+        return psim_ != nullptr ? psim_->now() : sim_.now();
+    }
 
 private:
     struct EdgeRef {
@@ -90,17 +152,22 @@ private:
     };
 
     util::Ipv4Prefix allocate_subnet();
+    void check_shard(std::uint32_t shard) const;
 
-    sim::Simulator sim_;
+    sim::Simulator sim_;  ///< sequential mode's engine (idle when psim_ set)
+    sim::ParallelSimulator* psim_ = nullptr;
     util::Rng rng_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Gateway>> gateways_;
     std::vector<Node*> node_ptrs_;
     std::vector<std::unique_ptr<link::PointToPointLink>> links_;
+    std::vector<std::unique_ptr<link::BoundaryLink>> boundary_links_;
     std::vector<std::unique_ptr<link::Lan>> lans_;
     std::vector<std::size_t> lan_next_host_;  ///< next address octet per LAN
     std::map<std::size_t, util::Ipv4Prefix> lan_subnet_;
+    std::vector<std::uint32_t> lan_shard_;
     std::map<Node*, std::vector<EdgeRef>> adjacency_;
+    std::map<const Node*, std::uint32_t> shard_of_;
     std::vector<Subnet> subnets_;
     std::uint32_t next_subnet_ = 1;
 };

@@ -2,6 +2,8 @@
 
 #include <iomanip>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
 
 #include "ip/protocols.h"
 
@@ -18,24 +20,102 @@ std::string protocol_name(std::uint8_t protocol) {
     }
 }
 
+std::string format_trace_line(double now_seconds, const std::string& name,
+                              const char* event, const Ipv4Header& header,
+                              std::size_t wire_bytes) {
+    std::ostringstream os;
+    os << "[" << std::fixed << std::setprecision(6) << std::setw(11)
+       << now_seconds << "] " << name << " "
+       << std::left << std::setw(7) << event << std::right << " "
+       << header.src.to_string() << " > " << header.dst.to_string() << " "
+       << protocol_name(header.protocol) << " " << wire_bytes << "B ttl="
+       << int(header.ttl);
+    if (header.tos != 0) os << " tos=0x" << std::hex << int(header.tos) << std::dec;
+    if (header.is_fragment()) {
+        os << " frag=" << header.payload_offset_bytes()
+           << (header.more_fragments ? "+" : "$");
+    }
+    os << "\n";
+    return os.str();
+}
+
 TraceFn make_text_tracer(std::ostream& os, std::string name,
                          const sim::Simulator& sim) {
     return [&os, name = std::move(name), &sim](const char* event,
                                                 const Ipv4Header& header,
                                                 std::size_t wire_bytes) {
-        os << "[" << std::fixed << std::setprecision(6) << std::setw(11)
-           << sim.now().seconds() << "] " << name << " "
-           << std::left << std::setw(7) << event << std::right << " "
-           << header.src.to_string() << " > " << header.dst.to_string() << " "
-           << protocol_name(header.protocol) << " " << wire_bytes << "B ttl="
-           << int(header.ttl);
-        if (header.tos != 0) os << " tos=0x" << std::hex << int(header.tos) << std::dec;
-        if (header.is_fragment()) {
-            os << " frag=" << header.payload_offset_bytes()
-               << (header.more_fragments ? "+" : "$");
-        }
-        os << "\n";
+        os << format_trace_line(sim.now().seconds(), name, event, header, wire_bytes);
     };
+}
+
+std::size_t TraceCollector::add_lane(std::string name) {
+    lanes_.push_back(std::make_unique<Lane>());
+    lanes_.back()->name = std::move(name);
+    return lanes_.size() - 1;
+}
+
+TraceFn TraceCollector::make_tracer(std::size_t lane, std::string node_name,
+                                    const sim::Simulator& sim) {
+    Lane* l = lanes_.at(lane).get();
+    return [l, node_name = std::move(node_name), &sim](const char* event,
+                                                        const Ipv4Header& header,
+                                                        std::size_t wire_bytes) {
+        l->entries.push_back(Entry{
+            sim.now().nanos(),
+            format_trace_line(sim.now().seconds(), node_name, event, header,
+                              wire_bytes)});
+    };
+}
+
+const std::string& TraceCollector::lane_name(std::size_t lane) const {
+    return lanes_.at(lane)->name;
+}
+
+std::string TraceCollector::lane_text(std::size_t lane) const {
+    const Lane& l = *lanes_.at(lane);
+    std::size_t total = 0;
+    for (const Entry& e : l.entries) total += e.text.size();
+    std::string out;
+    out.reserve(total);
+    for (const Entry& e : l.entries) out += e.text;
+    return out;
+}
+
+std::string TraceCollector::merged() const {
+    // Per-lane entries are already time-sorted (each lane's clock is
+    // monotone), so a k-way index merge suffices; ties resolve to the
+    // lower lane id, then per-lane order.
+    std::vector<std::size_t> pos(lanes_.size(), 0);
+    std::size_t remaining = 0;
+    std::size_t bytes = 0;
+    for (const auto& l : lanes_) {
+        remaining += l->entries.size();
+        for (const Entry& e : l->entries) bytes += e.text.size();
+    }
+    std::string out;
+    out.reserve(bytes);
+    while (remaining > 0) {
+        std::size_t best = lanes_.size();
+        std::int64_t best_t = 0;
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            if (pos[i] >= lanes_[i]->entries.size()) continue;
+            const std::int64_t t = lanes_[i]->entries[pos[i]].t_ns;
+            if (best == lanes_.size() || t < best_t) {
+                best = i;
+                best_t = t;
+            }
+        }
+        out += lanes_[best]->entries[pos[best]].text;
+        ++pos[best];
+        --remaining;
+    }
+    return out;
+}
+
+std::size_t TraceCollector::total_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& l : lanes_) n += l->entries.size();
+    return n;
 }
 
 }  // namespace catenet::ip

@@ -1,11 +1,19 @@
 // Packet tracing: a tcpdump-style, human-readable line per datagram event
 // at a node's IP layer. Attach with IpStack::set_trace(make_text_tracer(...))
 // to watch a node's traffic; tests attach lambdas to assert on events.
+//
+// For sharded runs (sim::ParallelSimulator) use TraceCollector: one lane
+// per node, each appended to only by the shard thread that owns the node,
+// so tracing costs no locks on the hot path and lines never interleave.
+// After the run the lanes merge into one deterministic transcript.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "ip/ipv4_header.h"
 #include "sim/simulator.h"
@@ -19,15 +27,65 @@ namespace catenet::ip {
 using TraceFn = std::function<void(const char* event, const Ipv4Header& header,
                                    std::size_t wire_bytes)>;
 
-/// Formats one line per event to `os`:
+/// Formats one complete trace line (including the trailing newline):
 ///   [  1.234567] name fwd  10.0.1.1 > 10.0.3.2 TCP 1460B ttl=63 tos=0x00
-/// Ports are not parsed here (the stack traces at the IP layer); transport
-/// detail belongs to the transport's own tracing.
+/// The single formatter shared by the stream tracer and TraceCollector, so
+/// a parallel run's merged transcript is byte-comparable to a sequential
+/// stream trace of the same nodes.
+std::string format_trace_line(double now_seconds, const std::string& name,
+                              const char* event, const Ipv4Header& header,
+                              std::size_t wire_bytes);
+
+/// Formats one line per event to `os`. Ports are not parsed here (the
+/// stack traces at the IP layer); transport detail belongs to the
+/// transport's own tracing.
 TraceFn make_text_tracer(std::ostream& os, std::string name,
                          const sim::Simulator& sim);
 
 /// Protocol number -> short name ("TCP", "UDP", "ICMP", "EGP", or the
 /// number in decimal).
 std::string protocol_name(std::uint8_t protocol);
+
+/// Lock-free multi-lane trace sink. Each lane is owned by exactly one
+/// node (and therefore one shard thread): appends are plain vector
+/// push_backs. Reading — lane_text() / merged() — is only defined while
+/// the simulation is quiescent (between ParallelSimulator::run_until
+/// calls), which is when tests and reports want it anyway.
+class TraceCollector {
+public:
+    /// Creates a lane; returns its id. Lane ids are the tie-break rank in
+    /// merged(), so create lanes in deterministic order.
+    std::size_t add_lane(std::string name);
+
+    /// A TraceFn that appends to `lane`, timestamped from `sim`'s clock.
+    /// The returned callable holds stable pointers — the collector must
+    /// outlive every stack it is attached to.
+    TraceFn make_tracer(std::size_t lane, std::string node_name,
+                        const sim::Simulator& sim);
+
+    std::size_t lane_count() const noexcept { return lanes_.size(); }
+    const std::string& lane_name(std::size_t lane) const;
+
+    /// One lane's lines, concatenated in emission (= time) order.
+    std::string lane_text(std::size_t lane) const;
+
+    /// All lanes merged into one transcript, ordered by (timestamp, lane
+    /// id, per-lane sequence) — deterministic regardless of thread count.
+    std::string merged() const;
+
+    std::size_t total_entries() const noexcept;
+
+private:
+    struct Entry {
+        std::int64_t t_ns;
+        std::string text;
+    };
+    struct Lane {
+        std::string name;
+        std::vector<Entry> entries;
+    };
+
+    std::vector<std::unique_ptr<Lane>> lanes_;
+};
 
 }  // namespace catenet::ip

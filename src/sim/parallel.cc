@@ -1,0 +1,160 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace catenet::sim {
+
+namespace {
+constexpr std::int64_t kInfNs = std::numeric_limits<std::int64_t>::max();
+}
+
+ParallelSimulator::ParallelSimulator(std::size_t shards, std::size_t threads)
+    : threads_(threads) {
+    if (shards == 0) throw std::invalid_argument("ParallelSimulator: zero shards");
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+        auto s = std::make_unique<ShardState>();
+        s->id = static_cast<std::uint32_t>(i);
+        shards_.push_back(std::move(s));
+    }
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+std::uint32_t ParallelSimulator::register_channel(BoundaryChannel* channel) {
+    const auto id = static_cast<std::uint32_t>(channels_.size());
+    channels_.push_back(channel);
+    // in/out vectors stay ordered by id because registration appends.
+    shards_.at(channel->dest_shard())->in.push_back(channel);
+    shards_.at(channel->source_shard())->out.push_back(channel);
+    return id;
+}
+
+std::uint64_t ParallelSimulator::events_processed() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->sim.events_processed();
+    return total;
+}
+
+bool ParallelSimulator::shard_round(ShardState& s, std::int64_t deadline_ns,
+                                    bool& progressed) {
+    // 1. Read input horizons (acquire), then drain the rings. The order
+    //    matters twice over: the acquire load is what makes "every arrival
+    //    <= safe is now visible in the ring" true when we drain afterwards,
+    //    and the values are snapshotted because the projection in step 3
+    //    must not see a *newer* horizon — an arrival pushed after our drain
+    //    but covered by a fresher horizon would be invisible to the
+    //    projection and could falsify it.
+    std::int64_t safe = kInfNs;
+    s.safe_snapshot.clear();
+    for (BoundaryChannel* ch : s.in) {
+        const std::int64_t ch_safe = ch->safe_ns();
+        s.safe_snapshot.push_back(ch_safe);
+        safe = std::min(safe, ch_safe);
+    }
+    for (BoundaryChannel* ch : s.in) ch->stage();
+
+    const std::int64_t bound = std::min(safe, deadline_ns);
+
+    // 2. Deliver every complete arrival in canonical (time, channel id,
+    //    seq) order, interleaved with local events via invoke_at. `in` is
+    //    ordered by channel id and we replace only on strictly earlier
+    //    time, so equal-time arrivals resolve to the lowest channel id;
+    //    seq order within a channel is the staging heap's job.
+    for (;;) {
+        BoundaryChannel* best = nullptr;
+        std::int64_t best_t = 0;
+        for (BoundaryChannel* ch : s.in) {
+            std::int64_t t;
+            std::uint64_t seq;
+            if (!ch->peek(t, seq) || t > bound) continue;
+            if (best == nullptr || t < best_t) {
+                best = ch;
+                best_t = t;
+            }
+        }
+        if (best == nullptr) break;
+        s.sim.invoke_at(Time(best_t), [best] { best->deliver_head(); });
+        progressed = true;
+    }
+    if (Time(bound) > s.sim.now()) {
+        s.sim.run_until(Time(bound));
+        progressed = true;
+    }
+    if (bound > s.last_bound) {
+        s.last_bound = bound;
+        progressed = true;
+    }
+
+    // 3. Project this shard's horizon. Everything at or before `bound` has
+    //    fired and its sends are buffered in the out-channels, so "all
+    //    future sends > bound" already holds; when the shard is idle we can
+    //    promise more — nothing can make it send before its next local
+    //    event, its earliest staged arrival, or the first instant an
+    //    unknown arrival could reach it (its own input bound + 1).
+    std::int64_t e_min = s.sim.next_event_ns(deadline_ns);
+    for (std::size_t i = 0; i < s.in.size(); ++i) {
+        e_min = std::min(e_min, s.in[i]->staged_head_ns());
+        const std::int64_t ch_safe = std::min(s.safe_snapshot[i], deadline_ns);
+        e_min = std::min(e_min, ch_safe + 1);
+    }
+    std::int64_t horizon = bound;
+    if (e_min != kInfNs) horizon = std::max(horizon, std::min(e_min - 1, deadline_ns));
+    else horizon = std::max(horizon, deadline_ns);
+    for (BoundaryChannel* ch : s.out) ch->flush(horizon);
+
+    // 4. Done once the clock is at the deadline, no input can produce more
+    //    work due by then, and every accepted send has made it into a ring.
+    //    All three conditions are monotone, so "done" never regresses.
+    bool done = s.sim.now().nanos() >= deadline_ns && safe >= deadline_ns;
+    for (BoundaryChannel* ch : s.out) done = done && ch->fully_flushed();
+    return done;
+}
+
+void ParallelSimulator::worker(std::size_t k, std::size_t stride,
+                               std::int64_t deadline_ns) {
+    const std::size_t total = shards_.size();
+    while (done_count_.load(std::memory_order_acquire) < total) {
+        bool progressed = false;
+        for (std::size_t i = k; i < total; i += stride) {
+            ShardState& s = *shards_[i];
+            const bool done = shard_round(s, deadline_ns, progressed);
+            if (done && !s.counted_done) {
+                s.counted_done = true;
+                done_count_.fetch_add(1, std::memory_order_acq_rel);
+            }
+        }
+        // A fruitless lap means we are waiting on another thread's shards;
+        // yield so they actually run (essential on loaded or small boxes).
+        if (!progressed) std::this_thread::yield();
+    }
+}
+
+void ParallelSimulator::run_until(Time deadline) {
+    if (deadline <= now_ && now_ > Time(0)) return;
+    const std::int64_t deadline_ns = deadline.nanos();
+    done_count_.store(0, std::memory_order_relaxed);
+    for (auto& s : shards_) s->counted_done = false;
+
+    std::size_t nthreads = threads_ == 0 ? shards_.size() : threads_;
+    nthreads = std::min(nthreads, shards_.size());
+    if (nthreads <= 1) {
+        worker(0, 1, deadline_ns);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads - 1);
+        for (std::size_t k = 1; k < nthreads; ++k) {
+            pool.emplace_back([this, k, nthreads, deadline_ns] {
+                worker(k, nthreads, deadline_ns);
+            });
+        }
+        worker(0, nthreads, deadline_ns);
+        for (auto& t : pool) t.join();
+    }
+    now_ = deadline;
+}
+
+}  // namespace catenet::sim

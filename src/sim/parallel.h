@@ -1,0 +1,150 @@
+// Conservative parallel simulation: one single-threaded Simulator per
+// shard, synchronized only at shard boundaries. The design leans directly
+// on the architecture being simulated — the catenet couples autonomous
+// networks through gateways, and fate-sharing keeps all connection state
+// in the end hosts, so cutting the topology at gateway links severs no
+// shared state. Each cut link's latency is a hard lower bound (the
+// "lookahead") on how soon one shard can affect another, which is exactly
+// what a Chandy-Misra-Bryant-style conservative engine needs.
+//
+// Synchronization model (a null-message / epoch hybrid):
+//  - Every cross-shard link direction is a BoundaryChannel: an SPSC ring
+//    of timestamped datagrams plus a published *horizon* — the producer's
+//    promise that every future send on that channel will carry a send time
+//    strictly greater than the horizon. No locks anywhere on the path.
+//  - A shard may safely advance to bound = min over in-channels of
+//    (horizon + lookahead): any not-yet-seen arrival must deliver after
+//    that. Arrivals at or before the bound are complete, so they are
+//    merged deterministically — by (deliver time, channel id, channel seq)
+//    — and injected with Simulator::invoke_at, which fires same-timestamp
+//    local events first (the fixed tie rule).
+//  - After advancing, the shard republishes its own horizons. When it is
+//    idle the horizon is *projected* forward to just before the earliest
+//    thing that could still make it send (its next local event, its
+//    earliest staged arrival, or its own input bound) — the null-message
+//    trick that lets chains of idle shards leapfrog to the deadline in a
+//    few rounds instead of crawling by one lookahead per round.
+//
+// Determinism: the merged arrival order and the local engines' behaviour
+// depend only on timestamps and registration order, never on thread
+// timing, so a seeded run is bit-identical across executions and thread
+// counts — asserted in tests/test_parallel.cc and test_determinism.cc.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace catenet::sim {
+
+/// One direction of a cross-shard link. Implemented by the link layer
+/// (link::BoundaryLink); the driver sees only the synchronization surface.
+/// Producer-side calls run on the source shard's thread, consumer-side
+/// calls on the destination shard's thread.
+class BoundaryChannel {
+public:
+    virtual ~BoundaryChannel() = default;
+
+    virtual std::uint32_t source_shard() const noexcept = 0;
+    virtual std::uint32_t dest_shard() const noexcept = 0;
+
+    // --- producer side ------------------------------------------------
+    /// Moves buffered sends into the ring, then publishes a horizon no
+    /// greater than `horizon_ns`: the promise that every future send has
+    /// send time > horizon. The channel itself caps the published value
+    /// below any send still waiting for ring space, so the promise holds
+    /// even under backpressure. Monotone by construction.
+    virtual void flush(std::int64_t horizon_ns) = 0;
+
+    /// True when no accepted send is still waiting for ring space.
+    virtual bool fully_flushed() const noexcept = 0;
+
+    // --- consumer side ------------------------------------------------
+    /// Reads the producer's horizon (acquire) and returns the delivery
+    /// bound horizon + lookahead: every arrival at or before it is either
+    /// already staged or in the ring. Call BEFORE stage() — the acquire
+    /// load is what guarantees the ring then contains all sends covered by
+    /// the bound.
+    virtual std::int64_t safe_ns() = 0;
+
+    /// Drains the ring into the channel's local staging order.
+    virtual void stage() = 0;
+
+    /// Earliest staged, undelivered arrival; false when none.
+    virtual bool peek(std::int64_t& deliver_ns, std::uint64_t& seq) const = 0;
+
+    /// Delivers the head arrival into the destination stack. The driver
+    /// has already advanced the destination simulator to the arrival time.
+    virtual void deliver_head() = 0;
+
+    /// Earliest staged, undelivered arrival time, or INT64_MAX (for
+    /// horizon projection).
+    virtual std::int64_t staged_head_ns() const = 0;
+};
+
+/// Runs N per-shard Simulators to a common deadline, conservatively
+/// synchronized through registered BoundaryChannels.
+///
+/// `threads` = 0 runs one OS thread per shard; 1 runs everything
+/// cooperatively on the caller's thread (useful for determinism baselines,
+/// allocation-counting tests, and single-core boxes); k in between
+/// multiplexes shards over k threads round-robin. The simulated result is
+/// identical in every case.
+class ParallelSimulator {
+public:
+    explicit ParallelSimulator(std::size_t shards, std::size_t threads = 0);
+    ParallelSimulator(const ParallelSimulator&) = delete;
+    ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+    ~ParallelSimulator();
+
+    std::size_t shard_count() const noexcept { return shards_.size(); }
+    Simulator& shard(std::size_t i) { return shards_.at(i)->sim; }
+
+    /// Registers a channel (both calls per duplex link). Channels must be
+    /// registered before run_until and in deterministic construction order
+    /// — the returned id is the cross-channel tie-break rank.
+    std::uint32_t register_channel(BoundaryChannel* channel);
+
+    /// Advances every shard to `deadline`, delivering all cross-shard
+    /// traffic due by then. All shard clocks equal `deadline` on return.
+    /// May be called repeatedly; in-flight boundary datagrams persist
+    /// between calls, exactly like pending events in a plain Simulator.
+    void run_until(Time deadline);
+
+    Time now() const noexcept { return now_; }
+
+    /// Total events across shards. Cross-shard deliveries count once, in
+    /// the destination shard, mirroring the sequential engine's one
+    /// propagation event per in-flight packet.
+    std::uint64_t events_processed() const;
+
+private:
+    struct ShardState {
+        Simulator sim;
+        std::uint32_t id = 0;
+        std::vector<BoundaryChannel*> in;   ///< ordered by channel id
+        std::vector<BoundaryChannel*> out;
+        std::int64_t last_bound = -1;
+        bool counted_done = false;
+        std::vector<std::int64_t> safe_snapshot;  ///< round-local scratch
+    };
+
+    /// One synchronization round; returns true when the shard has reached
+    /// the deadline with nothing left to flush or deliver.
+    bool shard_round(ShardState& s, std::int64_t deadline_ns, bool& progressed);
+
+    /// Drives shards k, k+stride, ... until every shard (globally) is done.
+    void worker(std::size_t k, std::size_t stride, std::int64_t deadline_ns);
+
+    std::vector<std::unique_ptr<ShardState>> shards_;
+    std::vector<BoundaryChannel*> channels_;
+    std::size_t threads_;
+    Time now_;
+    std::atomic<std::size_t> done_count_{0};
+};
+
+}  // namespace catenet::sim

@@ -10,9 +10,18 @@
 // only (time, seq, slot) triples that are invalidated lazily at pop.
 // Callbacks are InlineCallbacks: captures up to 64 bytes never touch the
 // heap, so steady-state schedule/cancel is allocation-free.
+//
+// The event store is two-tiered: imminent events (firing inside the
+// current ~67ms window) live in the 4-ary heap; distant ones (protocol
+// timers parked hundreds of milliseconds out, mostly re-armed or cancelled
+// before they fire) live in lazy calendar buckets where scheduling is an
+// O(1) append with no sift and no ordering work. Buckets migrate into the
+// heap only when simulated time approaches, so a timer that is re-armed a
+// thousand times costs a thousand appends and zero heap operations.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -61,7 +70,7 @@ public:
             s.fn.emplace(std::forward<F>(fn));
         }
         ++live_;
-        push_heap_entry(when, s.seq, slot);
+        push_event(when, s.seq, slot);
         return pack(s.generation, slot);
     }
 
@@ -89,8 +98,8 @@ public:
         EventSlot* s = resolve(id, slot);
         if (s == nullptr) return false;
         s->when = when;
-        s->seq = next_seq_++;  // orphans the old heap entry
-        push_heap_entry(when, s->seq, slot);
+        s->seq = next_seq_++;  // orphans the old heap/bucket entry
+        push_event(when, s->seq, slot);
         return true;
     }
 
@@ -110,6 +119,29 @@ public:
     /// Runs until `pred()` turns true or the queue drains; checks after
     /// every event. Returns the predicate's final value.
     bool run_while(const std::function<bool()>& pred);
+
+    /// Runs every pending event with time <= `when`, moves the clock to
+    /// `when`, then invokes `fn` as if it were an event scheduled there.
+    /// This is the cross-shard delivery hook for the parallel driver:
+    /// local events at the same timestamp fire first (a fixed, seed-stable
+    /// tie rule), then the arrival executes and is counted in
+    /// events_processed() exactly like the propagation event the
+    /// sequential engine would have fired.
+    template <typename F>
+    void invoke_at(Time when, F&& fn) {
+        if (when < now_) throw_past("invoke_at", when);
+        run_until(when);
+        ++events_processed_;
+        fn();
+    }
+
+    /// Firing time (ns) of the earliest pending event at or before
+    /// `bound_ns`, or INT64_MAX when none exists in that range. Used by the
+    /// parallel driver to project how far this shard could possibly be from
+    /// sending anything (null-message lookahead propagation). May migrate
+    /// far-tier buckets up to the bound as a side effect; never fires
+    /// events.
+    std::int64_t next_event_ns(std::int64_t bound_ns);
 
     std::uint64_t events_processed() const noexcept { return events_processed_; }
     std::size_t pending_events() const noexcept { return live_; }
@@ -192,6 +224,34 @@ private:
         --live_;
     }
 
+    /// Routes a fresh (or re-armed) event to the near heap or a far
+    /// bucket. The invariant the whole engine rests on: every live heap
+    /// entry has when < far_horizon_ and every live far entry has
+    /// when >= far_horizon_, so a nonempty (skimmed) heap top is always
+    /// the globally next event.
+    void push_event(Time when, std::uint64_t seq, std::uint32_t slot) {
+        if (when.nanos() < far_horizon_) {
+            push_heap_entry(when, seq, slot);
+        } else {
+            std::uint32_t node;
+            if (far_free_ != kNilSlot) {
+                node = far_free_;
+                far_free_ = far_nodes_[node].next;
+            } else {
+                node = static_cast<std::uint32_t>(far_nodes_.size());
+                far_nodes_.emplace_back();
+            }
+            auto& head =
+                far_head_[static_cast<std::uint64_t>(when.nanos() >> kFarShift) % kFarBuckets];
+            far_nodes_[node] = FarNode{when, seq, slot, head};
+            head = node;
+            ++far_count_;
+            // Cancel/re-arm churn strands stale copies in the buckets; sweep
+            // when they dominate, amortized O(1) per append.
+            if (far_count_ > 64 && far_count_ > 4 * live_) compact_far();
+        }
+    }
+
     void push_heap_entry(Time when, std::uint64_t seq, std::uint32_t slot) {
         const HeapEntry e{when, seq, slot};
         std::size_t i = heap_.size();
@@ -240,8 +300,59 @@ private:
     std::uint32_t grow_slots();
     void compact_heap();
 
+    // --- far tier ------------------------------------------------------
+    // Distant events (when >= far_horizon_) sit unsorted in calendar
+    // buckets of 2^kFarShift ns keyed by (when >> kFarShift) mod
+    // kFarBuckets. Scheduling far is an O(1) append; ordering work happens
+    // only if the event survives long enough to migrate into the heap.
+    // Bucket entries live in one free-listed node slab chained by index —
+    // capacity is shared across buckets and warmed once, so the steady
+    // state stays allocation-free even as the clock rolls into calendar
+    // windows it has never touched before (a per-bucket vector would
+    // allocate on each first touch).
+    static constexpr int kFarShift = 26;        // bucket width ~67 ms
+    static constexpr std::size_t kFarBuckets = 64;
+
+    struct FarNode {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t next;  ///< bucket chain / free list link
+    };
+
+    /// Skims stale heap tops, then migrates far buckets forward until the
+    /// heap holds the globally next event or no event exists at or before
+    /// `bound_ns`. Returns the valid top, or nullptr.
+    const HeapEntry* prepare_top(std::int64_t bound_ns);
+
+    /// Migrates the bucket at far_horizon_ into the heap (live, due
+    /// entries), keeps later-lap entries, drops stale ones, and advances
+    /// far_horizon_ one window. Returns how many entries left the bucket.
+    std::size_t advance_far_window();
+
+    /// Earliest `when` among bucket entries (live or stale); max() if none.
+    std::int64_t far_min_ns() const;
+
+    /// Keeps far_horizon_ ahead of the clock so near-term schedules keep
+    /// taking the heap path after a big run_until jump.
+    void raise_horizon_past_now();
+
+    /// Drops stale bucket entries in place (capacity retained).
+    void compact_far();
+
     std::vector<EventSlot> slots_;
     std::vector<HeapEntry> heap_;
+    std::vector<FarNode> far_nodes_;
+    std::array<std::uint32_t, kFarBuckets> far_head_ = make_nil_heads();
+    std::uint32_t far_free_ = kNilSlot;
+    std::size_t far_count_ = 0;  ///< bucket entries, live and stale
+    std::int64_t far_horizon_ = std::int64_t{1} << kFarShift;
+
+    static constexpr std::array<std::uint32_t, kFarBuckets> make_nil_heads() {
+        std::array<std::uint32_t, kFarBuckets> a{};
+        a.fill(kNilSlot);
+        return a;
+    }
     std::uint32_t free_head_ = kNilSlot;
     std::size_t live_ = 0;  ///< armed slots = pending events
     Time now_;

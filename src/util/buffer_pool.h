@@ -69,6 +69,19 @@ public:
         return b;
     }
 
+    /// Returns a pooled buffer of *any* capacity — the newest one — or an
+    /// empty buffer when the pool is dry, never allocating either way. The
+    /// boundary-channel handoff uses this to deposit a retired buffer into
+    /// a ring slot as it pops a packet out: any carcass will do, because
+    /// the capacity is headed for a *different* shard's pool (see
+    /// util/spsc_ring.h on swap-based transfer).
+    ByteBuffer take_any() noexcept {
+        if (free_.empty()) return {};
+        ByteBuffer b = std::move(free_.back());
+        free_.pop_back();
+        return b;
+    }
+
     /// Donates a retired buffer's capacity. Empty (capacity-less) buffers —
     /// including moved-from ones — are ignored, so callers may recycle
     /// unconditionally at every packet-retirement point.

@@ -1,11 +1,17 @@
 #include "util/logging.h"
 
-#include <iostream>
+#include <cstdio>
+#include <mutex>
 
 namespace catenet::util {
 
 namespace {
 LogLevel g_threshold = LogLevel::Warn;
+
+// Serializes whole lines only. Shard threads log concurrently; each line is
+// assembled into one contiguous string first (below), so the lock is held
+// for a single write and never across formatting.
+std::mutex g_log_mutex;
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -24,7 +30,20 @@ LogLevel log_threshold() noexcept { return g_threshold; }
 void set_log_threshold(LogLevel level) noexcept { g_threshold = level; }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
-    std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+    // One pre-assembled string, one locked write. The old implementation
+    // streamed five separate << operations to std::cerr, so two shards
+    // logging at once could interleave mid-line.
+    std::string line;
+    line.reserve(component.size() + message.size() + 16);
+    line += '[';
+    line += level_name(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace catenet::util

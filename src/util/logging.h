@@ -1,6 +1,8 @@
 // Minimal leveled logger. Off (Warn) by default so simulations stay quiet;
-// tests and debugging sessions can raise the level per run. Not thread-safe
-// by design — the simulator is single-threaded.
+// tests and debugging sessions can raise the level per run. Emission is
+// line-atomic: each message is assembled into one string and written under
+// a mutex, so concurrent shard threads never interleave mid-line. The
+// threshold itself is still set once, before threads start.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,90 @@
+// A bounded single-producer single-consumer ring for cross-shard handoff.
+// One thread pushes, one thread pops; synchronization is two monotonic
+// indices with release/acquire ordering and no locks, CAS loops or fences
+// on the data path. Each side keeps a cached copy of the other side's
+// index so the steady state touches the shared counters only when its
+// cache says the ring might be full (producer) or empty (consumer) — the
+// classic Lamport queue with index caching.
+//
+// push/pop are SWAP-based rather than move-based: the caller's item trades
+// places with the slot's current occupant. That is what lets ByteBuffer
+// capacity flow *backwards* across a shard boundary: the consumer deposits
+// a retired buffer when it pops, the producer harvests that carcass on the
+// slot's next lap and recycles it into its own pool — so a one-way packet
+// stream does not slowly drain the sending shard's buffer pool (see
+// link/boundary.cc).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace catenet::util {
+
+template <typename T>
+class SpscRing {
+public:
+    /// Capacity is rounded up to a power of two (masked indexing).
+    explicit SpscRing(std::size_t capacity) {
+        std::size_t cap = 1;
+        while (cap < capacity) cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    std::size_t capacity() const noexcept { return mask_ + 1; }
+
+    /// Producer side. On success swaps `item` with the slot: the slot takes
+    /// the caller's value and `item` receives whatever the slot held (a
+    /// default-constructed T on the first lap, a consumer deposit after).
+    /// Returns false (item untouched) when the ring is full.
+    bool push(T& item) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_cache_ > mask_) {
+            head_cache_ = head_.load(std::memory_order_acquire);
+            if (tail - head_cache_ > mask_) return false;
+        }
+        std::swap(slots_[tail & mask_], item);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. On success swaps: `item`'s prior value (the deposit)
+    /// stays in the slot for the producer to harvest, and `item` receives
+    /// the slot's payload. Returns false (item untouched) when empty.
+    bool pop(T& item) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_cache_) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (head == tail_cache_) return false;
+        }
+        std::swap(slots_[head & mask_], item);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer-side view; exact for the consumer, a lower bound elsewhere.
+    bool empty() const noexcept {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    // Indices are monotonic (never masked until use), so full/empty are
+    // unambiguous without a spare slot. Each hot atomic sits on its own
+    // cache line next to the cache of the *other* side's index — the pair
+    // a given thread actually touches together.
+    alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer writes
+    std::uint64_t head_cache_ = 0;                    ///< producer's view of head_
+    alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer writes
+    std::uint64_t tail_cache_ = 0;                    ///< consumer's view of tail_
+};
+
+}  // namespace catenet::util

@@ -21,6 +21,23 @@ void RunningStats::add(double x) {
     m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const noexcept {
     return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
 }
@@ -41,6 +58,11 @@ double Percentiles::percentile(double p) const {
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+void Percentiles::merge(const Percentiles& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
     if (!(hi > lo) || buckets == 0) {
@@ -59,6 +81,16 @@ void Histogram::add(double x) {
                                             static_cast<double>(counts_.size()));
         ++counts_[std::min(idx, counts_.size() - 1)];
     }
+}
+
+void Histogram::merge(const Histogram& other) {
+    if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+        throw std::invalid_argument("Histogram::merge: mismatched shape");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -10,9 +10,18 @@
 namespace catenet::util {
 
 /// Streaming count/mean/variance/min/max (Welford's algorithm).
+///
+/// Not internally synchronized — by design. Sharded simulations keep one
+/// accumulator per shard (single writer, no hot-path locks or atomics) and
+/// combine them with merge() once the shards have joined.
 class RunningStats {
 public:
     void add(double x);
+
+    /// Folds another accumulator in, as if every sample it saw had been
+    /// add()ed here (Chan et al.'s parallel variance combination; exact up
+    /// to floating-point rounding).
+    void merge(const RunningStats& other) noexcept;
 
     std::size_t count() const noexcept { return count_; }
     double mean() const noexcept { return count_ ? mean_ : 0.0; }
@@ -37,6 +46,10 @@ class Percentiles {
 public:
     void add(double x) { samples_.push_back(x); }
 
+    /// Appends another estimator's samples (per-shard accumulators merged
+    /// at the barrier; queries after a merge see the union).
+    void merge(const Percentiles& other);
+
     std::size_t count() const noexcept { return samples_.size(); }
 
     /// p in [0, 100]. Returns 0 when empty. Linear interpolation between
@@ -56,6 +69,11 @@ public:
     Histogram(double lo, double hi, std::size_t buckets);
 
     void add(double x);
+
+    /// Adds another histogram's counts bucket-by-bucket. Throws
+    /// std::invalid_argument unless ranges and bucket counts match.
+    void merge(const Histogram& other);
+
     std::size_t bucket_count() const noexcept { return counts_.size(); }
     std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
     std::uint64_t underflow() const noexcept { return underflow_; }

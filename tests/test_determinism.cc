@@ -3,10 +3,13 @@
 // packet-level behaviour, and different seeds must actually differ.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "app/bulk.h"
 #include "app/voice.h"
 #include "core/internetwork.h"
 #include "link/presets.h"
+#include "sim/parallel.h"
 
 namespace catenet {
 namespace {
@@ -62,6 +65,64 @@ TEST(Determinism, DifferentSeedsDiverge) {
     // Loss patterns differ, so at least one of these must differ.
     EXPECT_TRUE(first.events != second.events || first.link_bytes != second.link_bytes ||
                 first.retransmits != second.retransmits);
+}
+
+// The same discipline for the sharded engine: a 2-shard run (randomness
+// confined to the intra-shard hop; the boundary link is deterministic, so
+// parallel and sequential draw identical streams) must equal its
+// sequential twin AND replay itself exactly under real threads.
+RunSignature run_sharded_scenario(std::uint64_t seed, bool parallel,
+                                  std::size_t threads) {
+    std::unique_ptr<sim::ParallelSimulator> psim;
+    std::unique_ptr<core::Internetwork> owned;
+    if (parallel) {
+        psim = std::make_unique<sim::ParallelSimulator>(2, threads);
+        owned = std::make_unique<core::Internetwork>(seed, *psim);
+    } else {
+        owned = std::make_unique<core::Internetwork>(seed);
+    }
+    core::Internetwork& net = *owned;
+    core::Host& a = net.add_host("a");
+    core::Gateway& g = net.add_gateway("g");
+    core::Host& b = net.add_host("b", parallel ? 1u : 0u);
+    link::LinkParams lossy = link::presets::ethernet_hop();
+    lossy.drop_probability = 0.03;
+    lossy.jitter = sim::milliseconds(2);
+    link::LinkParams wide = link::presets::ethernet_hop();
+    wide.propagation_delay = sim::milliseconds(10);
+    net.connect(a, g, lossy);   // randomness stays inside shard 0
+    net.connect(g, b, wide);    // the deterministic shard boundary
+    net.use_static_routes();
+
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, 256 * 1024);
+    sender.start();
+    app::VoiceOverUdp voice(a, b, 5004);
+    voice.start(sim::seconds(10));
+    net.run_for(sim::seconds(60));
+
+    RunSignature sig;
+    sig.events = parallel ? psim->events_processed() : net.sim().events_processed();
+    sig.link_bytes = net.total_link_bytes();
+    sig.bytes_received = server.total_bytes_received();
+    sig.retransmits = sender.socket_stats().retransmitted_segments;
+    sig.voice_received = voice.report().frames_received;
+    return sig;
+}
+
+TEST(Determinism, ShardedRunEqualsSequentialTwin) {
+    const auto sequential = run_sharded_scenario(1234, false, 1);
+    const auto sharded = run_sharded_scenario(1234, true, 1);
+    EXPECT_EQ(sequential, sharded);
+    EXPECT_GT(sequential.retransmits, 0u) << "scenario must exercise randomness";
+}
+
+TEST(Determinism, ShardedRunReplaysExactlyUnderThreads) {
+    const auto first = run_sharded_scenario(555, true, 0);
+    const auto second = run_sharded_scenario(555, true, 0);
+    const auto cooperative = run_sharded_scenario(555, true, 1);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, cooperative);
 }
 
 // Property: replay stability across many seeds (each seed replays itself).

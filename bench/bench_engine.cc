@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/internetwork.h"
@@ -29,10 +30,24 @@
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "tcp/tcp.h"
+#include "telemetry/counters.h"
 
 namespace {
 
 using namespace catenet;
+
+// Folds the run's nonzero network counter totals into the benchmark's user
+// counters, so BENCH_engine.json carries packet-level accounting (segments,
+// retransmits, forwards, prediction hits) alongside the timing.
+void export_network_counters(benchmark::State& state, const core::Internetwork& net) {
+    const telemetry::CounterBlock totals = net.metrics().totals();
+    for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+        const auto c = static_cast<telemetry::Counter>(i);
+        if (totals.get(c) == 0) continue;
+        state.counters[std::string("net.") + telemetry::counter_name(c)] =
+            static_cast<double>(totals.get(c));
+    }
+}
 
 // Capture bulky enough (40 bytes) to defeat libstdc++'s tiny SSO buffer in
 // std::function yet fit the engine's 64-byte inline-callback storage: the
@@ -116,6 +131,7 @@ void BM_ForwardPps(benchmark::State& state) {
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
     state.counters["hops"] = static_cast<double>(hops);
+    export_network_counters(state, net);
 }
 BENCHMARK(BM_ForwardPps)->Arg(1)->Arg(4)->Arg(8);
 
@@ -192,6 +208,7 @@ void BM_TcpGoodput(benchmark::State& state) {
         static_cast<std::uint64_t>(state.iterations()) * kChunk));
     state.counters["links"] = static_cast<double>(links);
     state.counters["mss"] = static_cast<double>(mss);
+    export_network_counters(state, path.net);
 }
 BENCHMARK(BM_TcpGoodput)
     ->Args({1, 536})

@@ -28,6 +28,9 @@ int main() {
     net.connect(workstation, relay, link::presets::ethernet_hop());
     net.connect(relay, target, awful);
     net.use_static_routes();
+    // Black-box the session: every datagram event at every node lands in
+    // the binary flight recorder, decodable after the fact.
+    net.attach_flight_recorder();
 
     app::XnetTarget image(target, 69, 64 * 1024);
     // Plant a "crash dump" in target memory.
@@ -82,5 +85,9 @@ int main() {
                 static_cast<unsigned long long>(debugger.retries()));
     std::printf("(idempotent requests over raw datagrams: the paper's reason UDP "
                 "had to exist.)\n");
+
+    // What the network actually did, per the telemetry registry: the
+    // radio hop's losses show up as the gap between relay fwd and target rx.
+    std::printf("\n%s", net.metrics_report().to_table().c_str());
     return 0;
 }

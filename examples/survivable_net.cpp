@@ -68,6 +68,7 @@ void datagram_story() {
                     sender.socket_stats().retransmitted_segments));
     std::printf("the connection survived because no gateway held any part "
                 "of it\n\n");
+    std::printf("%s\n", net.metrics_report().to_table().c_str());
 }
 
 void virtual_circuit_story() {

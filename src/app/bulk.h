@@ -55,6 +55,8 @@ public:
     std::uint64_t bytes_queued() const noexcept { return sent_offset_; }
     const tcp::TcpSocketStats& socket_stats() const { return socket_->stats(); }
     tcp::TcpSocket& socket() noexcept { return *socket_; }
+    /// The owning handle, e.g. for Internetwork::watch_tcp.
+    const std::shared_ptr<tcp::TcpSocket>& shared_socket() const noexcept { return socket_; }
 
     std::function<void()> on_complete;
 

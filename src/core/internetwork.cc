@@ -90,17 +90,23 @@ void Internetwork::check_shard(std::uint32_t shard) const {
 Host& Internetwork::add_host(const std::string& name, std::uint32_t shard) {
     check_shard(shard);
     hosts_.push_back(std::make_unique<Host>(shard_sim(shard), name, rng_));
-    node_ptrs_.push_back(hosts_.back().get());
-    shard_of_[hosts_.back().get()] = shard;
-    return *hosts_.back();
+    Host& host = *hosts_.back();
+    node_ptrs_.push_back(&host);
+    shard_of_[&host] = shard;
+    registry_.register_node(name, shard,
+                            {&host.ip().counters(), &host.tcp().counters(),
+                             &host.udp().counters()});
+    return host;
 }
 
 Gateway& Internetwork::add_gateway(const std::string& name, std::uint32_t shard) {
     check_shard(shard);
     gateways_.push_back(std::make_unique<Gateway>(shard_sim(shard), name));
-    node_ptrs_.push_back(gateways_.back().get());
-    shard_of_[gateways_.back().get()] = shard;
-    return *gateways_.back();
+    Gateway& gw = *gateways_.back();
+    node_ptrs_.push_back(&gw);
+    shard_of_[&gw] = shard;
+    registry_.register_node(name, shard, {&gw.ip().counters()});
+    return gw;
 }
 
 std::uint32_t Internetwork::shard_of(const Node& node) const {
@@ -131,7 +137,17 @@ std::size_t Internetwork::connect(Node& a, Node& b, const link::LinkParams& para
             shard_sim(shard_a), rng_, params, a.name() + "-" + b.name());
         if_a = a.ip().add_interface(link->port_a(), addr_a, subnet);
         if_b = b.ip().add_interface(link->port_b(), addr_b, subnet);
+        telemetry::LinkEntry entry;
+        entry.name = a.name() + "-" + b.name();
+        entry.if_a = &link->port_a().stats();
+        entry.if_b = &link->port_b().stats();
+        entry.queue_a = [l = link.get()] { return &l->queue_a().stats(); };
+        entry.queue_b = [l = link.get()] { return &l->queue_b().stats(); };
+        entry.chan_a_to_b = &link->stats_a_to_b();
+        entry.chan_b_to_a = &link->stats_b_to_a();
+        registry_.register_link(std::move(entry));
         links_.push_back(std::move(link));
+        link_shard_.push_back(shard_a);
         index = links_.size() - 1;
     } else {
         // The ends live in different shards: the wire becomes the
@@ -145,6 +161,14 @@ std::size_t Internetwork::connect(Node& a, Node& b, const link::LinkParams& para
         psim_->register_channel(&link->channel_b_to_a());
         if_a = a.ip().add_interface(link->port_a(), addr_a, subnet);
         if_b = b.ip().add_interface(link->port_b(), addr_b, subnet);
+        telemetry::LinkEntry entry;
+        entry.name = a.name() + "-" + b.name();
+        entry.boundary = true;
+        entry.if_a = &link->port_a().stats();
+        entry.if_b = &link->port_b().stats();
+        entry.chan_a_to_b = &link->stats_a_to_b();
+        entry.chan_b_to_a = &link->stats_b_to_a();
+        registry_.register_link(std::move(entry));
         boundary_links_.push_back(std::move(link));
         index = kBoundaryIndexBase + boundary_links_.size() - 1;
     }
@@ -294,6 +318,83 @@ std::uint64_t Internetwork::total_link_bytes() const {
         total += lan->total_bytes_sent();
     }
     return total;
+}
+
+telemetry::FlightRecorder& Internetwork::attach_flight_recorder(
+    std::size_t lane_capacity) {
+    if (recorder_ != nullptr) return *recorder_;
+    recorder_ = std::make_unique<telemetry::FlightRecorder>();
+    for (Node* node : node_ptrs_) {
+        const std::size_t lane = recorder_->add_lane(node->name(), lane_capacity);
+        node->ip().set_recorder(&recorder_->lane(lane));
+    }
+    return *recorder_;
+}
+
+telemetry::GaugeSampler& Internetwork::sampler_for(std::uint32_t shard) {
+    auto& slot = samplers_[shard];
+    if (slot == nullptr) {
+        slot = std::make_unique<telemetry::GaugeSampler>(shard_sim(shard));
+    }
+    if (gauge_period_ > sim::Time(0) && !slot->running()) {
+        slot->start(gauge_period_);
+    }
+    return *slot;
+}
+
+void Internetwork::enable_gauge_sampling(sim::Time period) {
+    gauge_period_ = period;
+    if (!link_gauges_registered_) {
+        link_gauges_registered_ = true;
+        for (std::size_t i = 0; i < links_.size(); ++i) {
+            link::PointToPointLink* l = links_[i].get();
+            const std::uint32_t shard = link_shard_[i];
+            telemetry::GaugeSampler& sampler = sampler_for(shard);
+            auto& qa = registry_.add_series(l->port_a().name() + ".qdepth");
+            sampler.add(&qa, [l]() -> std::optional<double> {
+                return static_cast<double>(l->queue_a().packets());
+            });
+            auto& qb = registry_.add_series(l->port_b().name() + ".qdepth");
+            sampler.add(&qb, [l]() -> std::optional<double> {
+                return static_cast<double>(l->queue_b().packets());
+            });
+            auto& ua = registry_.add_series(l->port_a().name() + ".util");
+            sampler.add(&ua, telemetry::make_utilization_probe(
+                                 shard_sim(shard),
+                                 [l] { return l->port_a().stats().busy_ns; }));
+            auto& ub = registry_.add_series(l->port_b().name() + ".util");
+            sampler.add(&ub, telemetry::make_utilization_probe(
+                                 shard_sim(shard),
+                                 [l] { return l->port_b().stats().busy_ns; }));
+        }
+    }
+    // Samplers created before this call (watch_tcp first) start here.
+    for (auto& [shard, sampler] : samplers_) {
+        if (!sampler->running()) sampler->start(period);
+    }
+}
+
+void Internetwork::watch_tcp(Host& host, const std::shared_ptr<tcp::TcpSocket>& socket,
+                             const std::string& label) {
+    telemetry::GaugeSampler& sampler = sampler_for(psim_ != nullptr ? shard_of(host) : 0);
+    auto probe = [](std::weak_ptr<tcp::TcpSocket> w, auto field) {
+        return [w = std::move(w), field]() -> std::optional<double> {
+            auto s = w.lock();
+            if (s == nullptr) return std::nullopt;
+            return field(s->stats());
+        };
+    };
+    const std::weak_ptr<tcp::TcpSocket> weak = socket;
+    sampler.add(&registry_.add_series(label + ".cwnd_bytes"),
+                probe(weak, [](const tcp::TcpSocketStats& st) {
+                    return static_cast<double>(st.cwnd_bytes);
+                }));
+    sampler.add(&registry_.add_series(label + ".flight_bytes"),
+                probe(weak, [](const tcp::TcpSocketStats& st) {
+                    return static_cast<double>(st.flight_bytes);
+                }));
+    sampler.add(&registry_.add_series(label + ".srtt_ms"),
+                probe(weak, [](const tcp::TcpSocketStats& st) { return st.srtt_ms; }));
 }
 
 void Internetwork::run_for(sim::Time duration) {

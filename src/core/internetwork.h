@@ -27,6 +27,9 @@
 #include "link/point_to_point.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/report.h"
 #include "util/random.h"
 
 namespace catenet::core {
@@ -128,6 +131,37 @@ public:
     /// for the E5 experiments.
     std::uint64_t total_link_bytes() const;
 
+    // --- telemetry -----------------------------------------------------
+    /// The metrics registry. Nodes and links register themselves as the
+    /// topology is built; read it through metrics_report().
+    telemetry::Registry& metrics() noexcept { return registry_; }
+    const telemetry::Registry& metrics() const noexcept { return registry_; }
+
+    /// Attaches a binary flight recorder: one lane per node, in node
+    /// construction order (the deterministic merge tie-break order, same
+    /// rule as ip::TraceCollector). Call after the topology is built —
+    /// nodes added later are not recorded. Idempotent; returns the
+    /// recorder.
+    telemetry::FlightRecorder& attach_flight_recorder(
+        std::size_t lane_capacity = telemetry::FlightRecorder::kDefaultLaneCapacity);
+    telemetry::FlightRecorder* flight_recorder() noexcept { return recorder_.get(); }
+
+    /// Starts periodic gauge sampling: queue depth and utilization series
+    /// for every same-shard point-to-point link, sampled by a per-shard
+    /// event on that shard's own engine. Call after the topology is built.
+    void enable_gauge_sampling(sim::Time period);
+
+    /// Adds cwnd / flight-size / srtt gauge series for one TCP socket
+    /// (sockets are dynamic, so they are watched explicitly). The series
+    /// stop updating when the socket dies; they are never removed.
+    void watch_tcp(Host& host, const std::shared_ptr<tcp::TcpSocket>& socket,
+                   const std::string& label);
+
+    /// Snapshot of every registered counter, link statistic and gauge.
+    telemetry::MetricsReport metrics_report() const {
+        return telemetry::MetricsReport::collect(registry_, now(), recorder_.get());
+    }
+
     /// Runs the simulation for `duration` of simulated time (all shards,
     /// in parallel mode).
     void run_for(sim::Time duration);
@@ -153,6 +187,7 @@ private:
 
     util::Ipv4Prefix allocate_subnet();
     void check_shard(std::uint32_t shard) const;
+    telemetry::GaugeSampler& sampler_for(std::uint32_t shard);
 
     sim::Simulator sim_;  ///< sequential mode's engine (idle when psim_ set)
     sim::ParallelSimulator* psim_ = nullptr;
@@ -170,6 +205,12 @@ private:
     std::map<const Node*, std::uint32_t> shard_of_;
     std::vector<Subnet> subnets_;
     std::uint32_t next_subnet_ = 1;
+    telemetry::Registry registry_;
+    std::unique_ptr<telemetry::FlightRecorder> recorder_;
+    std::map<std::uint32_t, std::unique_ptr<telemetry::GaugeSampler>> samplers_;
+    std::vector<std::uint32_t> link_shard_;  ///< shard per links_ entry
+    sim::Time gauge_period_;                 ///< zero until sampling enabled
+    bool link_gauges_registered_ = false;
 };
 
 }  // namespace catenet::core

@@ -13,7 +13,9 @@ const util::Logger kLog("ip");
 }  // namespace
 
 IpStack::IpStack(sim::Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)), reassembler_(sim) {}
+    : sim_(sim), name_(std::move(name)), reassembler_(sim) {
+    reassembler_.set_counters(&counters_);
+}
 
 std::size_t IpStack::add_interface(link::NetIf& netif, util::Ipv4Address addr,
                                    util::Ipv4Prefix subnet) {
@@ -76,9 +78,12 @@ const Route* IpStack::lookup_route(util::Ipv4Address dst) {
         // Miss or stale line: one real LPM refills it. Negative results
         // are cached too (route == nullptr) — a gateway being flooded with
         // unroutable datagrams is exactly when the table scan hurts most.
+        counters_.inc(telemetry::Counter::IpRouteCacheMiss);
         slot.dst = dst;
         slot.route = routes_.lookup(dst).get();
         slot.generation = generation;
+    } else {
+        counters_.inc(telemetry::Counter::IpRouteCacheHit);
     }
     return slot.route;
 }
@@ -95,7 +100,7 @@ bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
         h.ttl = options.ttl;
         h.src = options.source.is_unspecified() ? dst : options.source;
         h.dst = dst;
-        ++stats_.datagrams_sent;
+        counters_.inc(telemetry::Counter::IpTx);
         auto data = util::to_buffer(payload);
         sim_.schedule_after(sim::Time(0), [this, h, data = std::move(data)] {
             deliver_local(h, data, 0);
@@ -105,7 +110,7 @@ bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
 
     const Route* route = lookup_route(dst);
     if (route == nullptr) {
-        ++stats_.dropped_no_route;
+        counters_.inc(telemetry::Counter::IpDropNoRoute);
         return false;
     }
     Ipv4Header header;
@@ -118,8 +123,8 @@ bool IpStack::send(std::uint8_t protocol, util::Ipv4Address dst,
                      ? interfaces_.at(route->ifindex).address
                      : options.source;
     header.dst = dst;
-    ++stats_.datagrams_sent;
-    if (trace_) trace_("tx", header, kIpv4HeaderSize + payload.size());
+    counters_.inc(telemetry::Counter::IpTx);
+    note(telemetry::PacketEvent::Tx, header, kIpv4HeaderSize + payload.size());
     return transmit(header, payload, *route);
 }
 
@@ -140,7 +145,7 @@ bool IpStack::send_with_headroom(std::uint8_t protocol, util::Ipv4Address dst,
 
     const Route* route = lookup_route(dst);
     if (route == nullptr) {
-        ++stats_.dropped_no_route;
+        counters_.inc(telemetry::Counter::IpDropNoRoute);
         sim_.buffer_pool().recycle(std::move(wire));
         return false;
     }
@@ -154,10 +159,10 @@ bool IpStack::send_with_headroom(std::uint8_t protocol, util::Ipv4Address dst,
     header.src = options.source.is_unspecified() ? iface.address : options.source;
     header.dst = dst;
 
-    ++stats_.datagrams_sent;
-    if (trace_) trace_("tx", header, wire.size());
+    counters_.inc(telemetry::Counter::IpTx);
+    note(telemetry::PacketEvent::Tx, header, wire.size());
     if (!iface.netif->is_up()) {
-        ++stats_.dropped_iface_down;
+        counters_.inc(telemetry::Counter::IpDropIfaceDown);
         sim_.buffer_pool().recycle(std::move(wire));
         return false;
     }
@@ -191,7 +196,7 @@ void IpStack::set_source_quench(bool on, sim::Time min_interval) {
             }
             last_quench_ = now;
             send_icmp_error(IcmpType::SourceQuench, 0, packet.bytes);
-            ++stats_.source_quenches_sent;
+            counters_.inc(telemetry::Counter::IpSourceQuenchSent);
         });
     }
 }
@@ -202,7 +207,7 @@ bool IpStack::send_broadcast(std::uint8_t protocol, std::size_t ifindex,
     if (down_ || ifindex >= interfaces_.size()) return false;
     auto& iface = interfaces_[ifindex];
     if (!iface.netif->is_up()) {
-        ++stats_.dropped_iface_down;
+        counters_.inc(telemetry::Counter::IpDropIfaceDown);
         return false;
     }
     Ipv4Header header;
@@ -212,7 +217,7 @@ bool IpStack::send_broadcast(std::uint8_t protocol, std::size_t ifindex,
     header.identification = next_identification_++;
     header.src = iface.address;
     header.dst = kBroadcastAddress;
-    ++stats_.datagrams_sent;
+    counters_.inc(telemetry::Counter::IpTx);
     auto wire = encode_datagram(header, payload, sim_.buffer_pool());
     iface.netif->send(link::make_packet(std::move(wire), sim_), util::Ipv4Address{});
     return true;
@@ -236,7 +241,7 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
                        const Route& route) {
     auto& iface = interfaces_.at(route.ifindex);
     if (!iface.netif->is_up()) {
-        ++stats_.dropped_iface_down;
+        counters_.inc(telemetry::Counter::IpDropIfaceDown);
         return false;
     }
     const util::Ipv4Address next_hop =
@@ -265,7 +270,7 @@ bool IpStack::transmit(const Ipv4Header& header, std::span<const std::uint8_t> p
         frag.fragment_offset = static_cast<std::uint16_t>((base_offset + pos) / 8);
         frag.more_fragments = header.more_fragments || (pos + len < payload.size());
         auto wire = encode_datagram(frag, payload.subspan(pos, len), sim_.buffer_pool());
-        ++stats_.fragments_created;
+        counters_.inc(telemetry::Counter::IpFragsCreated);
         iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
     }
     return true;
@@ -276,7 +281,7 @@ void IpStack::receive(std::size_t ifindex, link::Packet packet) {
         recycle_wire(packet);
         return;
     }
-    ++stats_.datagrams_received;
+    counters_.inc(telemetry::Counter::IpRx);
 
     DecodedDatagram d;
     bool checksum_ok = false;
@@ -286,18 +291,20 @@ void IpStack::receive(std::size_t ifindex, link::Packet packet) {
         // Same drop event as every other discard; the header carries
         // whatever fields decoded before the failure (best effort, exactly
         // what a wire sniffer would report for a mangled datagram).
-        ++stats_.dropped_malformed;
-        if (trace_) trace_("drop", d.header, packet.size());
+        counters_.inc(telemetry::Counter::IpDropMalformed);
+        note(telemetry::PacketEvent::Drop, d.header, packet.size(),
+             telemetry::DropReason::Malformed);
         recycle_wire(packet);
         return;
     }
     if (!checksum_ok) {
-        ++stats_.dropped_bad_checksum;
-        if (trace_) trace_("drop", d.header, packet.size());
+        counters_.inc(telemetry::Counter::IpDropChecksum);
+        note(telemetry::PacketEvent::Drop, d.header, packet.size(),
+             telemetry::DropReason::Checksum);
         recycle_wire(packet);
         return;
     }
-    if (trace_) trace_("rx", d.header, packet.size());
+    note(telemetry::PacketEvent::Rx, d.header, packet.size());
 
     const auto payload = payload_of(packet.bytes, d);
 
@@ -313,7 +320,7 @@ void IpStack::receive(std::size_t ifindex, link::Packet packet) {
     }
 
     if (!forwarding_) {
-        ++stats_.dropped_not_for_us;
+        counters_.inc(telemetry::Counter::IpDropNotForUs);
         recycle_wire(packet);
         return;
     }
@@ -323,8 +330,8 @@ void IpStack::receive(std::size_t ifindex, link::Packet packet) {
 
 void IpStack::deliver_local(const Ipv4Header& header, std::span<const std::uint8_t> payload,
                             std::size_t ifindex) {
-    ++stats_.delivered_locally;
-    if (trace_) trace_("deliver", header, kIpv4HeaderSize + payload.size());
+    counters_.inc(telemetry::Counter::IpDeliver);
+    note(telemetry::PacketEvent::Deliver, header, kIpv4HeaderSize + payload.size());
     if (header.protocol == kProtoIcmp) {
         handle_icmp(header, payload);
     }
@@ -347,15 +354,17 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
     const Ipv4Header& header = d.header;
     const std::span<const std::uint8_t> wire = packet.bytes;
     if (header.ttl <= 1) {
-        ++stats_.dropped_ttl_expired;
-        if (trace_) trace_("drop", header, wire.size());
+        counters_.inc(telemetry::Counter::IpDropTtlExpired);
+        note(telemetry::PacketEvent::Drop, header, wire.size(),
+             telemetry::DropReason::TtlExpired);
         send_icmp_error(IcmpType::TimeExceeded, 0, wire);
         return;
     }
     const Route* route = lookup_route(header.dst);
     if (route == nullptr) {
-        ++stats_.dropped_no_route;
-        if (trace_) trace_("drop", header, wire.size());
+        counters_.inc(telemetry::Counter::IpDropNoRoute);
+        note(telemetry::PacketEvent::Drop, header, wire.size(),
+             telemetry::DropReason::NoRoute);
         send_icmp_error(IcmpType::DestinationUnreachable, kUnreachNet, wire);
         return;
     }
@@ -375,7 +384,7 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
     if (d.header_length == kIpv4HeaderSize && wire.size() == header.total_length &&
         wire.size() <= mtu) {
         if (!iface.netif->is_up()) {
-            ++stats_.dropped_iface_down;
+            counters_.inc(telemetry::Counter::IpDropIfaceDown);
             return;
         }
         const std::size_t wire_bytes = wire.size();
@@ -383,13 +392,13 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
             route->next_hop.is_unspecified() ? header.dst : route->next_hop;
         decrement_ttl(packet.bytes);
         iface.netif->send(std::move(packet), next_hop);
-        ++stats_.forwarded;
-        if (trace_ || forward_tap_) {
+        counters_.inc(telemetry::Counter::IpFwd);
+        if (trace_ || forward_tap_ || recorder_ != nullptr) {
             // Observers want the header as sent; built only when someone
             // is actually watching.
             Ipv4Header out = header;
             out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
-            if (trace_) trace_("fwd", out, wire_bytes);
+            note(telemetry::PacketEvent::Fwd, out, wire_bytes);
             if (forward_tap_) forward_tap_(out, wire_bytes);
         }
         return;
@@ -402,8 +411,8 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
     // and re-serialize exactly as the seed did.
     const auto payload = payload_of(wire, d);
     if (transmit(out, payload, *route)) {
-        ++stats_.forwarded;
-        if (trace_) trace_("fwd", out, wire.size());
+        counters_.inc(telemetry::Counter::IpFwd);
+        note(telemetry::PacketEvent::Fwd, out, wire.size());
         if (forward_tap_) forward_tap_(out, wire.size());
     }
 }
@@ -453,7 +462,7 @@ void IpStack::send_icmp_error(IcmpType type, std::uint8_t code,
         sim_.buffer_pool().recycle(std::move(wire));
         sim_.buffer_pool().recycle(std::move(msg.body));
         if (sent) {
-            ++stats_.icmp_errors_sent;
+            counters_.inc(telemetry::Counter::IpIcmpErrorsSent);
         }
     } catch (const util::DecodeError&) {
         // Too mangled to attribute; stay silent.

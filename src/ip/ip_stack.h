@@ -21,6 +21,8 @@
 #include "ip/routing_table.h"
 #include "link/netif.h"
 #include "sim/simulator.h"
+#include "telemetry/counters.h"
+#include "telemetry/record.h"
 
 namespace catenet::ip {
 
@@ -147,7 +149,27 @@ public:
     RoutingTable& routing_table() noexcept { return routes_; }
     const RoutingTable& routing_table() const noexcept { return routes_; }
 
-    const IpStats& stats() const noexcept { return stats_; }
+    /// Legacy statistics view, synthesized from the telemetry counter
+    /// block — the counters are the single storage, so the hot path pays
+    /// one increment per event, not two parallel ones.
+    IpStats stats() const noexcept {
+        using telemetry::Counter;
+        IpStats s;
+        s.datagrams_sent = counters_.get(Counter::IpTx);
+        s.datagrams_received = counters_.get(Counter::IpRx);
+        s.delivered_locally = counters_.get(Counter::IpDeliver);
+        s.forwarded = counters_.get(Counter::IpFwd);
+        s.dropped_bad_checksum = counters_.get(Counter::IpDropChecksum);
+        s.dropped_malformed = counters_.get(Counter::IpDropMalformed);
+        s.dropped_no_route = counters_.get(Counter::IpDropNoRoute);
+        s.dropped_ttl_expired = counters_.get(Counter::IpDropTtlExpired);
+        s.dropped_iface_down = counters_.get(Counter::IpDropIfaceDown);
+        s.dropped_not_for_us = counters_.get(Counter::IpDropNotForUs);
+        s.fragments_created = counters_.get(Counter::IpFragsCreated);
+        s.icmp_errors_sent = counters_.get(Counter::IpIcmpErrorsSent);
+        s.source_quenches_sent = counters_.get(Counter::IpSourceQuenchSent);
+        return s;
+    }
     const ReassemblyStats& reassembly_stats() const noexcept { return reassembler_.stats(); }
     const std::string& name() const noexcept { return name_; }
     sim::Simulator& simulator() noexcept { return sim_; }
@@ -165,6 +187,17 @@ public:
     using TraceHook = std::function<void(const char* event, const Ipv4Header&,
                                          std::size_t wire_bytes)>;
     void set_trace(TraceHook trace) { trace_ = std::move(trace); }
+
+    /// Attaches a flight-recorder lane: every event the text tracer would
+    /// report is also appended as a 32-byte binary record (see
+    /// telemetry/record.h). Unlike set_trace, recording costs no
+    /// formatting — decode happens after the run. nullptr detaches.
+    void set_recorder(telemetry::RecorderLane* lane) noexcept { recorder_ = lane; }
+
+    /// This node's internet-layer counters (single writer: the shard
+    /// thread that runs this stack). The sole storage for internet-layer
+    /// accounting; stats() is a view over these slots.
+    const telemetry::CounterBlock& counters() const noexcept { return counters_; }
 
 private:
     struct Interface {
@@ -206,6 +239,34 @@ private:
     /// Cached longest-prefix match (nullptr = no route). Serves the
     /// per-packet lookups in send() and forward().
     const Route* lookup_route(util::Ipv4Address dst);
+
+    /// One observation point feeding both the text tracer and the flight
+    /// recorder, so they can never disagree about which events happened.
+    /// The counters are wired separately (they fire on a few paths the
+    /// tracer stays silent on).
+    void note(telemetry::PacketEvent event, const Ipv4Header& h, std::size_t wire_bytes,
+              telemetry::DropReason reason = telemetry::DropReason::None) {
+        if (trace_) trace_(telemetry::to_cstr(event), h, wire_bytes);
+#ifndef CATENET_NO_TELEMETRY
+        if (recorder_ != nullptr) {
+            telemetry::PacketRecord r;
+            r.t_ns = sim_.now().nanos();
+            r.src = h.src.value();
+            r.dst = h.dst.value();
+            r.wire_bytes = static_cast<std::uint32_t>(wire_bytes);
+            r.frag_off = h.fragment_offset;
+            r.event = static_cast<std::uint8_t>(event);
+            r.protocol = h.protocol;
+            r.ttl = h.ttl;
+            r.tos = h.tos;
+            r.more_fragments = h.more_fragments ? 1 : 0;
+            r.reason = static_cast<std::uint8_t>(reason);
+            recorder_->append(r);
+        }
+#else
+        (void)reason;
+#endif
+    }
     /// Returns a retired packet's buffer capacity to the simulation pool;
     /// no-op if the buffer was already moved onward.
     void recycle_wire(link::Packet& packet) {
@@ -222,7 +283,8 @@ private:
     std::vector<IcmpErrorHandler> icmp_error_handlers_;
     ForwardTap forward_tap_;
     TraceHook trace_;
-    IpStats stats_;
+    telemetry::CounterBlock counters_;
+    telemetry::RecorderLane* recorder_ = nullptr;
     bool source_quench_ = false;
     sim::Time quench_min_interval_;
     sim::Time last_quench_;

@@ -66,6 +66,8 @@ void Reassembler::expire(sim::Time now) {
         if (it->second.deadline <= now) {
             it = buffers_.erase(it);
             ++stats_.timeouts;
+            if (counters_ != nullptr)
+                counters_->inc(telemetry::Counter::IpDropReassemblyTimeout);
         } else {
             ++it;
         }

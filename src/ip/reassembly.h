@@ -13,6 +13,7 @@
 
 #include "ip/ipv4_header.h"
 #include "sim/simulator.h"
+#include "telemetry/counters.h"
 #include "util/byte_buffer.h"
 
 namespace catenet::ip {
@@ -35,6 +36,12 @@ public:
 
     std::size_t pending() const noexcept { return buffers_.size(); }
     const ReassemblyStats& stats() const noexcept { return stats_; }
+
+    /// Mirrors each reassembly timeout into the owning stack's
+    /// IpDropReassemblyTimeout counter slot (nullptr = no mirroring).
+    void set_counters(telemetry::CounterBlock* counters) noexcept {
+        counters_ = counters;
+    }
 
     /// Drops all partial datagrams (node restart).
     void clear() { buffers_.clear(); }
@@ -68,6 +75,7 @@ private:
     sim::Time timeout_;
     std::map<Key, Buffer> buffers_;
     ReassemblyStats stats_;
+    telemetry::CounterBlock* counters_ = nullptr;
 };
 
 }  // namespace catenet::ip

@@ -27,6 +27,7 @@ struct NetIfStats {
     std::uint64_t packets_received = 0;
     std::uint64_t bytes_received = 0;
     std::uint64_t send_failures = 0;  // down interface or unresolvable next hop
+    std::uint64_t busy_ns = 0;  // time the transmitter spent clocking bits out
 };
 
 class NetIf {

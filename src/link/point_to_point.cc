@@ -98,6 +98,7 @@ private:
         busy_until_ = link_.sim_.now() + tx;
         ++stats_.packets_sent;
         stats_.bytes_sent += packet.size();
+        stats_.busy_ns += static_cast<std::uint64_t>(tx.nanos());
         if (link_.rng_.chance(params_.drop_probability)) {
             ++channel_stats_.packets_lost;
             link_.sim_.buffer_pool().recycle(std::move(packet.bytes));

@@ -77,6 +77,7 @@ const TcpSocketStats& TcpSocket::stats() const {
     stats_.srtt_ms = srtt_ns_ / 1e6;
     stats_.rto_ms = static_cast<double>(current_rto().nanos()) / 1e6;
     stats_.cwnd_bytes = cwnd_;
+    stats_.flight_bytes = flight_size();
     return stats_;
 }
 
@@ -300,6 +301,9 @@ void TcpSocket::try_send(bool /*ack_only_allowed*/) {
         if (len == 0) {
             // Window (flow or congestion) closed with data pending.
             if (snd_wnd_ == 0 && in_flight_data == 0) {
+                if (!persist_timer_.pending()) {
+                    stack_.counters_.inc(telemetry::Counter::TcpZeroWindowEvents);
+                }
                 persist_timer_.schedule_if_idle(config_.persist_interval);
             }
             break;
@@ -354,6 +358,7 @@ void TcpSocket::send_segment(SeqNum seq, std::size_t length, bool fin, bool forc
     const bool is_retransmission = seq_lt(seq, snd_max_);
     if (is_retransmission) {
         ++stats_.retransmitted_segments;
+    stack_.counters_.inc(telemetry::Counter::TcpRetransSegs);
         stats_.retransmitted_bytes += length;
         // Karn's rule: a retransmission invalidates RTT timing.
         timing_ = false;
@@ -447,6 +452,7 @@ void TcpSocket::transmit(const TcpHeader& header, std::span<const std::uint8_t> 
     opts.source = local_addr_;
     stack_.ip().send_with_headroom(ip::kProtoTcp, remote_addr_, std::move(wire), opts);
     ++stats_.segments_sent;
+    stack_.counters_.inc(telemetry::Counter::TcpSegsOut);
 }
 
 // --- timers ---------------------------------------------------------------------
@@ -503,6 +509,7 @@ void TcpSocket::on_rto_fire() {
         return;
     }
     ++stats_.timeouts;
+    stack_.counters_.inc(telemetry::Counter::TcpRtos);
     ++consecutive_timeouts_;
     if (consecutive_timeouts_ > config_.max_retries) {
         fail_connection();
@@ -516,6 +523,7 @@ void TcpSocket::on_rto_fire() {
         syn.syn = true;
         send_control(syn, iss_);
         ++stats_.retransmitted_segments;
+    stack_.counters_.inc(telemetry::Counter::TcpRetransSegs);
         arm_rto();
         return;
     }
@@ -525,6 +533,7 @@ void TcpSocket::on_rto_fire() {
         synack.ack = true;
         send_control(synack, iss_);
         ++stats_.retransmitted_segments;
+    stack_.counters_.inc(telemetry::Counter::TcpRetransSegs);
         arm_rto();
         return;
     }
@@ -582,10 +591,12 @@ void TcpSocket::on_ack_advance(std::uint32_t acked_bytes) {
 
 void TcpSocket::on_duplicate_ack() {
     ++stats_.duplicate_acks_received;
+    stack_.counters_.inc(telemetry::Counter::TcpDupAcks);
     if (!config_.fast_retransmit) return;
     ++dup_acks_;
     if (dup_acks_ == 3) {
         ++stats_.fast_retransmits;
+        stack_.counters_.inc(telemetry::Counter::TcpFastRetransmits);
         enter_loss_recovery();
     }
 }
@@ -653,6 +664,7 @@ bool TcpSocket::try_fast_path(const TcpHeader& h, std::span<const std::uint8_t> 
         if (!(seq_gt(h.ack, snd_una_) && seq_leq(h.ack, snd_max_))) return false;
         if (dup_acks_ != 0) return false;
         ++stats_.fast_path_acks;
+        stack_.counters_.inc(telemetry::Counter::TcpPredAcks);
         const std::uint32_t acked = h.ack - snd_una_;
         // RTT sample (Karn-safe: timing_ was invalidated on retransmit).
         if (timing_ && seq_gt(h.ack, timed_seq_)) {
@@ -683,6 +695,7 @@ bool TcpSocket::try_fast_path(const TcpHeader& h, std::span<const std::uint8_t> 
         return false;
     }
     ++stats_.fast_path_data;
+    stack_.counters_.inc(telemetry::Counter::TcpPredData);
     rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
     stats_.bytes_received += payload.size();
     if (on_data) on_data(payload);
@@ -781,6 +794,7 @@ void TcpSocket::on_segment(const TcpHeader& h, std::span<const std::uint8_t> pay
             backoff_ = 0;
             rto_timer_.cancel();
             ++stack_.stats_.connections_accepted;
+            stack_.counters_.inc(telemetry::Counter::TcpConnsAccepted);
             if (on_connected) on_connected();
         } else {
             TcpFlags rst;
@@ -1058,6 +1072,7 @@ std::shared_ptr<TcpSocket> TcpStack::connect(util::Ipv4Address dst, std::uint16_
     auto socket = std::shared_ptr<TcpSocket>(new TcpSocket(*this, config));
     connections_.insert(make_conn_key(dst.value(), dst_port, src_port), socket);
     ++stats_.connections_opened;
+    counters_.inc(telemetry::Counter::TcpConnsOpened);
     socket->open_active(dst, dst_port, src_port);
     return socket;
 }
@@ -1074,16 +1089,19 @@ void TcpStack::stop_listening(std::uint16_t port) { listeners_.erase(port); }
 void TcpStack::on_segment(const ip::Ipv4Header& header,
                           std::span<const std::uint8_t> payload) {
     ++stats_.segments_received;
+    counters_.inc(telemetry::Counter::TcpSegsIn);
     std::span<const std::uint8_t> data;
     std::optional<TcpHeader> h;
     try {
         h = decode_tcp(header.src, header.dst, payload, data);
     } catch (const util::DecodeError&) {
         ++stats_.dropped_bad_checksum;
+        counters_.inc(telemetry::Counter::TcpDropChecksum);
         return;
     }
     if (!h) {
         ++stats_.dropped_bad_checksum;
+        counters_.inc(telemetry::Counter::TcpDropChecksum);
         return;
     }
 
@@ -1109,6 +1127,7 @@ void TcpStack::on_segment(const ip::Ipv4Header& header,
     }
 
     ++stats_.dropped_no_connection;
+    counters_.inc(telemetry::Counter::TcpDropNoConnection);
     if (!h->flags.rst) send_reset(header, *h, data.size());
 }
 
@@ -1130,6 +1149,7 @@ void TcpStack::send_reset(const ip::Ipv4Header& header, const TcpHeader& offendi
     opts.source = header.dst;
     ip_.send(ip::kProtoTcp, header.src, wire, opts);
     ++stats_.resets_sent;
+    counters_.inc(telemetry::Counter::TcpResetsSent);
 }
 
 void TcpStack::remove_connection(std::uint64_t key) {

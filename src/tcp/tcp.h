@@ -109,6 +109,7 @@ struct TcpSocketStats {
     double srtt_ms = 0.0;
     double rto_ms = 0.0;
     std::uint64_t cwnd_bytes = 0;
+    std::uint64_t flight_bytes = 0;  ///< sent but unacknowledged right now
 };
 
 class TcpStack;
@@ -361,6 +362,9 @@ public:
 
     ip::IpStack& ip() noexcept { return ip_; }
     const TcpStackStats& stats() const noexcept { return stats_; }
+    /// This stack's TCP counter slots, all connections folded in (mirror
+    /// the TcpStackStats fields plus sums of per-socket TcpSocketStats).
+    const telemetry::CounterBlock& counters() const noexcept { return counters_; }
 
     /// Currently tracked connections (debug/test aid).
     std::size_t connection_count() const noexcept { return connections_.size(); }
@@ -385,6 +389,7 @@ private:
     ConnTable<std::shared_ptr<TcpSocket>> connections_;
     std::map<std::uint16_t, Listener> listeners_;
     TcpStackStats stats_;
+    telemetry::CounterBlock counters_;
     std::uint16_t next_ephemeral_ = 49152;
 };
 

@@ -1,0 +1,74 @@
+#include "telemetry/flight_recorder.h"
+
+#include "ip/ipv4_header.h"
+#include "ip/trace.h"
+
+namespace catenet::telemetry {
+
+std::size_t FlightRecorder::add_lane(std::string name, std::size_t capacity) {
+    lanes_.push_back(std::make_unique<Lane>(std::move(name), capacity));
+    return lanes_.size() - 1;
+}
+
+std::string FlightRecorder::render(const Lane& lane, const PacketRecord& r) {
+    ip::Ipv4Header h;
+    h.src = util::Ipv4Address{r.src};
+    h.dst = util::Ipv4Address{r.dst};
+    h.protocol = r.protocol;
+    h.ttl = r.ttl;
+    h.tos = r.tos;
+    h.fragment_offset = r.frag_off;
+    h.more_fragments = r.more_fragments != 0;
+    return ip::format_trace_line(static_cast<double>(r.t_ns) / 1e9, lane.name,
+                                 to_cstr(static_cast<PacketEvent>(r.event)), h,
+                                 r.wire_bytes);
+}
+
+std::string FlightRecorder::decode_lane(std::size_t i) const {
+    const Lane& lane = *lanes_.at(i);
+    std::string out;
+    for (std::size_t k = 0; k < lane.ring.held(); ++k) {
+        out += render(lane, lane.ring.at(k));
+    }
+    return out;
+}
+
+std::string FlightRecorder::merged() const {
+    // Per-lane records are already time-sorted (each node's clock is
+    // monotone); k-way index merge, ties to the lower lane id then
+    // per-lane order — byte-compatible with TraceCollector::merged().
+    std::vector<std::size_t> pos(lanes_.size(), 0);
+    std::size_t remaining = 0;
+    for (const auto& l : lanes_) remaining += l->ring.held();
+    std::string out;
+    while (remaining > 0) {
+        std::size_t best = lanes_.size();
+        std::int64_t best_t = 0;
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            if (pos[i] >= lanes_[i]->ring.held()) continue;
+            const std::int64_t t = lanes_[i]->ring.at(pos[i]).t_ns;
+            if (best == lanes_.size() || t < best_t) {
+                best = i;
+                best_t = t;
+            }
+        }
+        out += render(*lanes_[best], lanes_[best]->ring.at(pos[best]));
+        ++pos[best];
+        --remaining;
+    }
+    return out;
+}
+
+std::uint64_t FlightRecorder::total_records() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes_) n += l->ring.total();
+    return n;
+}
+
+std::uint64_t FlightRecorder::total_overwritten() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes_) n += l->ring.overwritten();
+    return n;
+}
+
+}  // namespace catenet::telemetry

@@ -1,0 +1,60 @@
+// The flight recorder's cold half: lane management and post-run decoding.
+// Lanes are created in deterministic order (lane id = merge tie-break
+// rank, same rule as ip::TraceCollector); each lane is attached to one
+// IpStack via IpStack::set_recorder and written only by that node's shard
+// thread. After the run, decode() / merged() re-render the binary records
+// through ip::format_trace_line — the single formatter the live tracer
+// uses — so a recorded run's transcript is byte-identical to a live text
+// trace of the same nodes, and the existing trace tests double as decoder
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/record.h"
+
+namespace catenet::telemetry {
+
+class FlightRecorder {
+public:
+    /// Default per-lane capacity: 64k records = 2 MiB per node.
+    static constexpr std::size_t kDefaultLaneCapacity = 1 << 16;
+
+    /// Creates a lane; returns its id (merge tie-break rank — create lanes
+    /// in deterministic order).
+    std::size_t add_lane(std::string name,
+                         std::size_t capacity = kDefaultLaneCapacity);
+
+    std::size_t lane_count() const noexcept { return lanes_.size(); }
+    RecorderLane& lane(std::size_t i) { return lanes_.at(i)->ring; }
+    const RecorderLane& lane(std::size_t i) const { return lanes_.at(i)->ring; }
+    const std::string& lane_name(std::size_t i) const { return lanes_.at(i)->name; }
+
+    /// One lane's held records rendered as trace lines, oldest first.
+    std::string decode_lane(std::size_t i) const;
+
+    /// All lanes merged into one transcript ordered by (timestamp, lane
+    /// id, per-lane order) — the same deterministic rule as
+    /// ip::TraceCollector::merged().
+    std::string merged() const;
+
+    std::uint64_t total_records() const noexcept;
+    /// Records lost to ring wrap across all lanes (reported, never silent).
+    std::uint64_t total_overwritten() const noexcept;
+
+private:
+    struct Lane {
+        std::string name;
+        RecorderLane ring;
+        Lane(std::string n, std::size_t cap) : name(std::move(n)), ring(cap) {}
+    };
+
+    static std::string render(const Lane& lane, const PacketRecord& r);
+
+    std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace catenet::telemetry

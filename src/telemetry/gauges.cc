@@ -1,0 +1,47 @@
+#include "telemetry/gauges.h"
+
+namespace catenet::telemetry {
+
+GaugeSampler::GaugeSampler(sim::Simulator& sim)
+    : sim_(sim), timer_(sim, [this] { tick(); }) {}
+
+void GaugeSampler::add(GaugeSeries* series, GaugeProbe probe) {
+    entries_.push_back(Entry{series, std::move(probe)});
+}
+
+void GaugeSampler::start(sim::Time period) {
+    period_ = period;
+    timer_.start(period);
+}
+
+void GaugeSampler::tick() {
+    const std::int64_t t = sim_.now().nanos();
+    for (auto& e : entries_) {
+        if (auto v = e.probe()) e.series->record(t, *v);
+    }
+}
+
+GaugeProbe make_utilization_probe(sim::Simulator& sim,
+                                  std::function<std::uint64_t()> busy_ns) {
+    struct State {
+        std::int64_t last_t = 0;
+        std::uint64_t last_busy = 0;
+    };
+    return [&sim, busy = std::move(busy_ns), st = State{}]() mutable
+               -> std::optional<double> {
+        const std::int64_t t = sim.now().nanos();
+        const std::uint64_t b = busy();
+        const std::int64_t dt = t - st.last_t;
+        const std::uint64_t db = b - st.last_busy;
+        st.last_t = t;
+        st.last_busy = b;
+        if (dt <= 0) return std::nullopt;
+        double u = static_cast<double>(db) / static_cast<double>(dt);
+        // A transmission that straddles the sampling edge can push the
+        // busy delta past the wall-clock delta; clamp — utilization is a
+        // fraction of the interval, not a debt ledger.
+        return u > 1.0 ? 1.0 : u;
+    };
+}
+
+}  // namespace catenet::telemetry

@@ -86,6 +86,8 @@ public:
     std::unique_ptr<UdpSocket> bind_ephemeral();
 
     const UdpStats& stats() const noexcept { return stats_; }
+    /// This stack's UDP counter slots (mirror the UdpStats fields).
+    const telemetry::CounterBlock& counters() const noexcept { return counters_; }
     ip::IpStack& ip() noexcept { return ip_; }
 
 private:
@@ -96,6 +98,7 @@ private:
     ip::IpStack& ip_;
     std::map<std::uint16_t, UdpSocket*> sockets_;
     UdpStats stats_;
+    telemetry::CounterBlock counters_;
     std::uint16_t next_ephemeral_ = 49152;
 };
 

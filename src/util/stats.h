@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -24,11 +25,20 @@ public:
     void merge(const RunningStats& other) noexcept;
 
     std::size_t count() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
     double mean() const noexcept { return count_ ? mean_ : 0.0; }
     double variance() const noexcept;
     double stddev() const noexcept;
-    double min() const noexcept { return count_ ? min_ : 0.0; }
-    double max() const noexcept { return count_ ? max_ : 0.0; }
+    /// NaN when empty: an accumulator that saw no samples has no extrema,
+    /// and a silent 0.0 is indistinguishable from a real observation of
+    /// zero. Reports must check empty()/count() and say "no data" instead
+    /// (MetricsReport serializes such series as null).
+    double min() const noexcept {
+        return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+    }
+    double max() const noexcept {
+        return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+    }
     double sum() const noexcept { return sum_; }
 
 private:

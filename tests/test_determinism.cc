@@ -20,6 +20,10 @@ struct RunSignature {
     std::uint64_t bytes_received;
     std::uint64_t retransmits;
     std::uint64_t voice_received;
+    /// Registry totals: every telemetry counter of every node, merged.
+    /// Slot-for-slot equality across replays (and across the sequential /
+    /// sharded twins) is the counter registry's determinism contract.
+    telemetry::CounterBlock counters;
 
     bool operator==(const RunSignature&) const = default;
 };
@@ -49,6 +53,7 @@ RunSignature run_scenario(std::uint64_t seed) {
     sig.bytes_received = server.total_bytes_received();
     sig.retransmits = sender.socket_stats().retransmitted_segments;
     sig.voice_received = voice.report().frames_received;
+    sig.counters = net.metrics().totals();
     return sig;
 }
 
@@ -107,6 +112,7 @@ RunSignature run_sharded_scenario(std::uint64_t seed, bool parallel,
     sig.bytes_received = server.total_bytes_received();
     sig.retransmits = sender.socket_stats().retransmitted_segments;
     sig.voice_received = voice.report().frames_received;
+    sig.counters = net.metrics().totals();
     return sig;
 }
 
@@ -115,6 +121,13 @@ TEST(Determinism, ShardedRunEqualsSequentialTwin) {
     const auto sharded = run_sharded_scenario(1234, true, 1);
     EXPECT_EQ(sequential, sharded);
     EXPECT_GT(sequential.retransmits, 0u) << "scenario must exercise randomness";
+    // The merged per-shard counter blocks are slot-for-slot what one
+    // sequential engine counted — not merely the same sums, the same
+    // counters (the signature's operator== already folded this in, but the
+    // telemetry claim deserves its own line).
+    EXPECT_EQ(sequential.counters.slots, sharded.counters.slots);
+    EXPECT_GT(sharded.counters.get(telemetry::Counter::IpFwd), 0u);
+    EXPECT_GT(sharded.counters.get(telemetry::Counter::TcpRetransSegs), 0u);
 }
 
 TEST(Determinism, ShardedRunReplaysExactlyUnderThreads) {

@@ -2,6 +2,7 @@
 // statistics, deterministic randomness.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <span>
 
@@ -281,6 +282,44 @@ TEST(RunningStats, EmptyIsZero) {
     EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStats, EmptyHasNoExtrema) {
+    // An accumulator that saw nothing must not claim it observed 0.0:
+    // min()/max() are NaN until the first sample, and empty() says why.
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    s.add(-3.5);
+    EXPECT_FALSE(s.empty());
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentityBothWays) {
+    RunningStats filled;
+    for (double x : {1.0, 2.0, 6.0}) filled.add(x);
+    RunningStats empty;
+
+    RunningStats a = filled;
+    a.merge(empty);  // right identity
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+
+    RunningStats b;  // left identity
+    b.merge(filled);
+    EXPECT_EQ(b.count(), 3u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(b.min(), 1.0);
+    EXPECT_DOUBLE_EQ(b.max(), 6.0);
+
+    RunningStats both;
+    both.merge(empty);
+    EXPECT_TRUE(both.empty());
+    EXPECT_TRUE(std::isnan(both.min()));
+}
+
 TEST(Percentiles, ExactQuartiles) {
     Percentiles p;
     for (int i = 1; i <= 101; ++i) p.add(i);
@@ -311,6 +350,96 @@ TEST(Histogram, BucketsAndOverflow) {
     EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(9), 1u);
     EXPECT_EQ(h.total(), 5u);
+}
+
+// --- shard-merge properties ---------------------------------------------
+// The parallel engine folds per-shard accumulators after quiescence; the
+// merged result must be indistinguishable from one accumulator that saw
+// every sample, regardless of how the samples were split or in what order
+// the shards joined.
+
+TEST(Percentiles, MergeWithEmptyIsIdentity) {
+    Percentiles filled;
+    for (int i = 1; i <= 9; ++i) filled.add(i);
+    Percentiles empty;
+    filled.merge(empty);
+    EXPECT_EQ(filled.count(), 9u);
+    EXPECT_DOUBLE_EQ(filled.median(), 5.0);
+
+    Percentiles target;
+    target.merge(filled);
+    EXPECT_EQ(target.count(), 9u);
+    EXPECT_DOUBLE_EQ(target.median(), 5.0);
+    EXPECT_DOUBLE_EQ(target.percentile(100), 9.0);
+}
+
+TEST(Percentiles, MergeSingleSampleShards) {
+    // Degenerate sharding: every shard saw exactly one sample.
+    Percentiles merged;
+    for (double x : {7.0, 1.0, 5.0, 3.0, 9.0}) {
+        Percentiles shard;
+        shard.add(x);
+        merged.merge(shard);
+    }
+    EXPECT_EQ(merged.count(), 5u);
+    EXPECT_DOUBLE_EQ(merged.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(merged.median(), 5.0);
+    EXPECT_DOUBLE_EQ(merged.percentile(100), 9.0);
+}
+
+TEST(Percentiles, MergeOrderDoesNotMatter) {
+    Percentiles lo, hi;
+    for (int i = 1; i <= 50; ++i) lo.add(i);
+    for (int i = 51; i <= 101; ++i) hi.add(i);
+
+    Percentiles lo_first = lo;
+    lo_first.merge(hi);
+    Percentiles hi_first = hi;
+    hi_first.merge(lo);
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(lo_first.percentile(p), hi_first.percentile(p)) << p;
+    }
+    // And both match the unsharded accumulator.
+    Percentiles all;
+    for (int i = 1; i <= 101; ++i) all.add(i);
+    EXPECT_DOUBLE_EQ(lo_first.percentile(50), all.percentile(50));
+}
+
+TEST(Histogram, MergeAddsBucketsUnderflowAndOverflow) {
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(-1);
+    a.add(0.5);
+    b.add(0.7);
+    b.add(9.5);
+    b.add(42.0);
+
+    Histogram empty(0.0, 10.0, 10);
+    a.merge(empty);  // empty merge changes nothing
+    EXPECT_EQ(a.total(), 2u);
+
+    Histogram ab = a;
+    ab.merge(b);
+    Histogram ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.total(), 5u);
+    EXPECT_EQ(ab.bucket(0), 2u);
+    EXPECT_EQ(ab.bucket(9), 1u);
+    EXPECT_EQ(ab.underflow(), 1u);
+    EXPECT_EQ(ab.overflow(), 1u);
+    for (std::size_t i = 0; i < ab.bucket_count(); ++i) {
+        EXPECT_EQ(ab.bucket(i), ba.bucket(i)) << i;
+    }
+    EXPECT_EQ(ab.underflow(), ba.underflow());
+    EXPECT_EQ(ab.overflow(), ba.overflow());
+}
+
+TEST(Histogram, MergeRejectsMismatchedShape) {
+    Histogram a(0.0, 10.0, 10);
+    Histogram different_range(0.0, 20.0, 10);
+    Histogram different_buckets(0.0, 10.0, 5);
+    EXPECT_THROW(a.merge(different_range), std::invalid_argument);
+    EXPECT_THROW(a.merge(different_buckets), std::invalid_argument);
 }
 
 // --- ring buffer --------------------------------------------------------

@@ -1,0 +1,119 @@
+#!/bin/sh
+# Reusable A/B benchmark gate: builds two sides, runs the selected
+# benchmarks strictly interleaved (A, B, A, B, ...) to cancel box-load
+# drift, takes the best of N rounds per side, compares CPU time, and
+# fails with a nonzero exit when the gate is violated. Both sides build
+# RelWithDebInfo with -falign-functions=64 to tame the code-placement
+# lottery between separately linked binaries, which at the few-hundred-ns
+# scale of the engine benchmarks otherwise swamps a few-percent signal
+# (the PR 3/PR 4 methodology in CHANGES.md, extracted from ab_overhead.sh
+# so every perf PR states its claim through the same harness).
+#
+# Usage: bench/ab_compare.sh <benchmark-regex> <tolerance>
+#
+#   MODE=max-regression (default)  tolerance is a percentage: fail when
+#       side B is more than <tolerance>% slower than side A on any
+#       selected benchmark ("my change must not regress").
+#   MODE=min-speedup               tolerance is a ratio: fail when side B
+#       is not at least <tolerance>x faster than side A on every selected
+#       benchmark ("my optimization must actually pay").
+#
+#   A_SRC / B_SRC      source trees (default: this repo for both — use a
+#                      git worktree of the pre-change revision as A_SRC to
+#                      gate a PR; copy new benchmark sources into it first
+#                      if the benchmarks themselves are new)
+#   A_CMAKE / B_CMAKE  extra cmake arguments per side (e.g. A_CMAKE=
+#                      -DCATENET_NO_TELEMETRY=ON)
+#   A_NAME / B_NAME    report labels            [baseline / candidate]
+#   BENCH_TARGET       benchmark binary target  [bench_engine]
+#   ROUNDS=5 MIN_TIME=0.2 OUT=<dir> to override the usual knobs.
+set -eu
+
+FILTER=${1:?usage: ab_compare.sh <benchmark-regex> <tolerance>}
+TOL=${2:?usage: ab_compare.sh <benchmark-regex> <tolerance>}
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+A_SRC=${A_SRC:-$SRC}
+B_SRC=${B_SRC:-$SRC}
+A_NAME=${A_NAME:-baseline}
+B_NAME=${B_NAME:-candidate}
+MODE=${MODE:-max-regression}
+ROUNDS=${ROUNDS:-5}
+MIN_TIME=${MIN_TIME:-0.2}
+BENCH_TARGET=${BENCH_TARGET:-bench_engine}
+A_BUILD=${A_BUILD:-$SRC/build-ab-a}
+B_BUILD=${B_BUILD:-$SRC/build-ab-b}
+OUT=${OUT:-$A_BUILD/ab}
+
+echo "== A/B gate: $MODE $TOL on '$FILTER' (best of $ROUNDS) =="
+echo "   A ($A_NAME): $A_SRC"
+echo "   B ($B_NAME): $B_SRC"
+
+cmake -S "$A_SRC" -B "$A_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS=-falign-functions=64 ${A_CMAKE:-} >/dev/null
+cmake -S "$B_SRC" -B "$B_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS=-falign-functions=64 ${B_CMAKE:-} >/dev/null
+cmake --build "$A_BUILD" --target "$BENCH_TARGET" --parallel 2 >/dev/null
+cmake --build "$B_BUILD" --target "$BENCH_TARGET" --parallel 2 >/dev/null
+
+mkdir -p "$OUT"
+i=1
+while [ "$i" -le "$ROUNDS" ]; do
+    for side in a b; do
+        if [ "$side" = a ]; then tree="$A_BUILD"; else tree="$B_BUILD"; fi
+        "$tree/bench/$BENCH_TARGET" \
+            --benchmark_filter="$FILTER" \
+            --benchmark_min_time="$MIN_TIME" \
+            --benchmark_out="$OUT/${side}_${i}.json" \
+            --benchmark_out_format=json >/dev/null
+    done
+    echo "round $i/$ROUNDS done"
+    i=$((i + 1))
+done
+
+python3 - "$OUT" "$TOL" "$ROUNDS" "$MODE" "$A_NAME" "$B_NAME" <<'EOF'
+import json, sys
+
+out, tol, rounds, mode, a_name, b_name = (
+    sys.argv[1], float(sys.argv[2]), int(sys.argv[3]),
+    sys.argv[4], sys.argv[5], sys.argv[6])
+
+def best(side):
+    per = {}
+    for i in range(1, rounds + 1):
+        with open(f"{out}/{side}_{i}.json") as f:
+            for b in json.load(f)["benchmarks"]:
+                t = b["cpu_time"]
+                name = b["name"]
+                if name not in per or t < per[name]:
+                    per[name] = t
+    return per
+
+a, b = best("a"), best("b")
+if not a:
+    sys.exit("A/B gate FAILED: filter matched no benchmarks")
+failed = False
+hdr = f"{'benchmark':<28} {a_name[:12]:>12} {b_name[:12]:>12}"
+if mode == "min-speedup":
+    print(hdr + f" {'speedup':>9}")
+else:
+    print(hdr + f" {'delta':>9}")
+for name in sorted(a):
+    ta, tb = a[name], b[name]
+    flag = ""
+    if mode == "min-speedup":
+        ratio = ta / tb
+        if ratio < tol:
+            failed = True
+            flag = f"  BELOW {tol:.2f}x"
+        print(f"{name:<28} {ta:>10.1f}ns {tb:>10.1f}ns {ratio:>8.2f}x{flag}")
+    else:
+        pct = (tb - ta) / ta * 100.0
+        if pct > tol:
+            failed = True
+            flag = f"  EXCEEDS {tol:.0f}%"
+        print(f"{name:<28} {ta:>10.1f}ns {tb:>10.1f}ns {pct:>+8.2f}%{flag}")
+if failed:
+    sys.exit("A/B gate FAILED")
+print("A/B gate OK")
+EOF

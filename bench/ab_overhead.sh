@@ -1,85 +1,33 @@
 #!/bin/sh
-# Telemetry overhead gate: measures what this PR's additive observation
+# Telemetry overhead gate: measures what the additive observation
 # machinery — the flight-recorder branch and the note() observation bodies
 # — costs on the two hot paths the repo gates: N-hop forwarding and
 # established-flow TCP goodput. (The counter block itself is the storage
 # behind the per-stack statistics and is live on both sides; events are
 # counted once, so there is no separate "counters off" configuration that
-# still behaves like the simulator.) The tree is built twice, once as-is
-# and once with -DCATENET_NO_TELEMETRY=ON, and both binaries run strictly
-# interleaved (ON, OFF, ON, OFF, ...) to cancel box-load drift, best of N
-# rounds per side, CPU time (the PR 3/PR 4 A/B methodology in CHANGES.md).
-# -falign-functions=64 on both sides tames the code-placement lottery
-# between separately linked binaries, which at the ~400 ns scale of
-# BM_ForwardPps otherwise swamps a few-percent signal. Fails if the
-# instrumented build is more than TOL percent slower on any benchmark.
+# still behaves like the simulator.) Side A builds with
+# -DCATENET_NO_TELEMETRY=ON, side B is the tree as-is; the gate fails if
+# the instrumented build is more than TOL percent slower on any benchmark.
+#
+# Thin wrapper: the interleaved best-of-N CPU-time methodology lives in
+# bench/ab_compare.sh, shared by every perf gate.
 #
 # Usage: bench/ab_overhead.sh  [from anywhere; builds siblings of bench/]
 #   TOL=3 ROUNDS=5 MIN_TIME=0.2 to override.
 set -eu
 
-SRC=$(cd "$(dirname "$0")/.." && pwd)
-ON="$SRC/build-tel-on"
-OFF="$SRC/build-tel-off"
+HERE=$(cd "$(dirname "$0")" && pwd)
+SRC=$(cd "$HERE/.." && pwd)
+
 TOL=${TOL:-3}
-ROUNDS=${ROUNDS:-5}
-MIN_TIME=${MIN_TIME:-0.2}
-FILTER='BM_ForwardPps/4$|BM_TcpGoodput/1/1460$'
-OUT="$SRC/build-tel-on/ab"
+export ROUNDS=${ROUNDS:-5}
+export MIN_TIME=${MIN_TIME:-0.2}
+export MODE=max-regression
+export A_NAME=tel-off
+export B_NAME=tel-on
+export A_CMAKE="-DCATENET_NO_TELEMETRY=ON"
+export A_BUILD="$SRC/build-tel-off"
+export B_BUILD="$SRC/build-tel-on"
 
 echo "== telemetry A/B overhead gate (tolerance ${TOL}%, best of ${ROUNDS}) =="
-
-cmake -S "$SRC" -B "$ON" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS=-falign-functions=64 >/dev/null
-cmake -S "$SRC" -B "$OFF" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS=-falign-functions=64 \
-    -DCATENET_NO_TELEMETRY=ON >/dev/null
-cmake --build "$ON" --target bench_engine --parallel 2 >/dev/null
-cmake --build "$OFF" --target bench_engine --parallel 2 >/dev/null
-
-mkdir -p "$OUT"
-i=1
-while [ "$i" -le "$ROUNDS" ]; do
-    for side in on off; do
-        if [ "$side" = on ]; then tree="$ON"; else tree="$OFF"; fi
-        "$tree/bench/bench_engine" \
-            --benchmark_filter="$FILTER" \
-            --benchmark_min_time="$MIN_TIME" \
-            --benchmark_out="$OUT/${side}_${i}.json" \
-            --benchmark_out_format=json >/dev/null
-    done
-    echo "round $i/$ROUNDS done"
-    i=$((i + 1))
-done
-
-python3 - "$OUT" "$TOL" "$ROUNDS" <<'EOF'
-import json, sys
-
-out, tol, rounds = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
-
-def best(side):
-    per = {}
-    for i in range(1, rounds + 1):
-        with open(f"{out}/{side}_{i}.json") as f:
-            for b in json.load(f)["benchmarks"]:
-                t = b["cpu_time"]
-                name = b["name"]
-                if name not in per or t < per[name]:
-                    per[name] = t
-    return per
-
-on, off = best("on"), best("off")
-failed = False
-print(f"{'benchmark':<24} {'off ns':>10} {'on ns':>10} {'overhead':>9}")
-for name in sorted(off):
-    o, n = off[name], on[name]
-    pct = (n - o) / o * 100.0
-    flag = ""
-    if pct > tol:
-        failed = True
-        flag = f"  EXCEEDS {tol:.0f}%"
-    print(f"{name:<24} {o:>10.1f} {n:>10.1f} {pct:>+8.2f}%{flag}")
-if failed:
-    sys.exit("telemetry overhead gate FAILED")
-print("telemetry overhead gate OK")
-EOF
+exec "$HERE/ab_compare.sh" 'BM_ForwardPps/4$|BM_TcpGoodput/1/1460$' "$TOL"

@@ -9,6 +9,13 @@
 //   BM_ForwardPps      — end-to-end: one datagram pushed through an N-hop
 //                        chain of real ip::IpStack gateways per iteration;
 //                        items/sec is simulated forwarded-packets/sec.
+//   BM_ForwardBurst    — N back-to-back datagrams through one gateway on a
+//                        long fat link per iteration: the wire regime where
+//                        whole runs are in flight at once, i.e. the burst
+//                        pipeline's target workload (and, at Arg(1), its
+//                        single-packet bypass). Deliberately expressed in
+//                        params every engine generation understands, so the
+//                        same source A/Bs across trees (bench/ab_compare.sh).
 //   BM_TcpGoodput      — bulk TCP transfer over an established connection
 //                        across 1- and 4-link paths at several MSS values;
 //                        bytes/sec is simulated TCP goodput.
@@ -134,6 +141,45 @@ void BM_ForwardPps(benchmark::State& state) {
     export_network_counters(state, net);
 }
 BENCHMARK(BM_ForwardPps)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ForwardBurst(benchmark::State& state) {
+    const int wave = static_cast<int>(state.range(0));
+    core::Internetwork net(42);
+    core::Host& a = net.add_host("a");
+    core::Gateway& gw = net.add_gateway("gw");
+    core::Host& b = net.add_host("b");
+    // 100 Mb/s with 2 ms of propagation: tx(532B) = 42.56us, so a 32-deep
+    // wave is entirely in flight before the first datagram lands — the
+    // sustained-run regime, as opposed to BM_ForwardPps's one-at-a-time
+    // store-and-forward.
+    link::LinkParams wan;
+    wan.bits_per_second = 100'000'000;
+    wan.propagation_delay = sim::milliseconds(2);
+    wan.queue_capacity_packets = 64;
+    net.connect(a, gw, wan);
+    net.connect(gw, b, wan);
+    net.use_static_routes();
+
+    std::uint64_t delivered = 0;
+    constexpr std::uint8_t kProto = 253;
+    b.ip().register_protocol(kProto, [&delivered](const ip::Ipv4Header&,
+                                                  std::span<const std::uint8_t>,
+                                                  std::size_t) { ++delivered; });
+    const std::vector<std::uint8_t> payload(512, 0xab);
+    const auto dst = b.address();
+    for (auto _ : state) {
+        for (int i = 0; i < wave; ++i) a.ip().send(kProto, dst, payload);
+        net.sim().run();
+    }
+    const auto expected =
+        static_cast<std::uint64_t>(state.iterations()) * static_cast<std::uint64_t>(wave);
+    if (delivered != expected) {
+        state.SkipWithError("datagrams lost in burst forwarding");
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(expected));
+    export_network_counters(state, net);
+}
+BENCHMARK(BM_ForwardBurst)->Arg(1)->Arg(32);
 
 // Builds an a — (links-1 gateways) — b chain and returns it ready to run.
 struct TcpPath {

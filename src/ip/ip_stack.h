@@ -222,14 +222,52 @@ private:
     };
     static constexpr std::size_t kRouteCacheSlots = 64;  // direct-mapped
 
+    /// Last route served to the burst pipeline: a one-line memo in front
+    /// of the direct-mapped cache, checked against the table generation at
+    /// every use. A memo hit is exactly the cache hit the per-packet path
+    /// would have counted (same destination + same generation implies the
+    /// direct-mapped line still holds it), so hit/miss counters stay
+    /// identical.
+    struct RouteMemo {
+        util::Ipv4Address dst;
+        const Route* route = nullptr;
+        std::uint64_t generation = 0;
+        bool valid = false;
+    };
+
+    /// Hot-path counters a burst accumulates in registers and flushes once
+    /// per burst (or at a bail) — the flush lands before any other event
+    /// runs, so every observer sees per-packet-exact values.
+    struct ForwardLocals {
+        std::uint64_t rx = 0;
+        std::uint64_t fwd = 0;
+        std::uint64_t cache_hits = 0;
+        std::uint64_t cache_misses = 0;
+    };
+
     void receive(std::size_t ifindex, link::Packet packet);
+
+    /// The burst receive path (DESIGN.md §"burst forwarding"): pass 1
+    /// decodes every header into a stack-resident descriptor array with
+    /// prefetch; pass 2 commits packets one by one, advancing the clock to
+    /// each arrival and bailing the moment another event would interleave.
+    /// Returns how many items were consumed (>= 1).
+    std::size_t receive_burst(std::size_t ifindex, link::PacketBurst& burst);
+
+    /// Everything receive() does after a successful decode: trace/record
+    /// Rx, deliver locally or forward. Shared verbatim by the per-packet
+    /// and burst paths so they cannot drift.
+    void process_datagram(const DecodedDatagram& d, link::Packet& packet,
+                          std::size_t ifindex, RouteMemo* memo, ForwardLocals* locals);
     void deliver_local(const Ipv4Header& header, std::span<const std::uint8_t> payload,
                        std::size_t ifindex);
     /// Forwarding takes the owned packet: the non-fragmenting fast path
     /// rewrites TTL/checksum in place and moves the buffer straight to the
     /// egress interface. On every other path the packet is left with the
-    /// caller, which recycles it.
-    void forward(const DecodedDatagram& d, link::Packet& packet, std::size_t in_ifindex);
+    /// caller, which recycles it. `memo`/`locals` are non-null only on the
+    /// burst path.
+    void forward(const DecodedDatagram& d, link::Packet& packet, std::size_t in_ifindex,
+                 RouteMemo* memo = nullptr, ForwardLocals* locals = nullptr);
     bool transmit(const Ipv4Header& header, std::span<const std::uint8_t> payload,
                   const Route& route);
     void handle_icmp(const Ipv4Header& header, std::span<const std::uint8_t> payload);
@@ -239,6 +277,10 @@ private:
     /// Cached longest-prefix match (nullptr = no route). Serves the
     /// per-packet lookups in send() and forward().
     const Route* lookup_route(util::Ipv4Address dst);
+
+    /// The cache probe itself, with the hit/miss outcome reported to the
+    /// caller instead of counted — the burst path batches the counts.
+    const Route* probe_route_cache(util::Ipv4Address dst, bool& hit);
 
     /// One observation point feeding both the text tracer and the flight
     /// recorder, so they can never disagree about which events happened.

@@ -5,6 +5,7 @@
 // ordering, no broadcast.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -38,6 +39,13 @@ public:
     // take `Packet` by value still bind — the move happens at their call.
     using Receiver = std::function<void(Packet&&)>;
 
+    /// Burst receiver: consumes burst items in order, advancing the clock
+    /// to each item's arrival time, and returns how many it consumed (a
+    /// bail on a pending event leaves the tail with the caller, to be
+    /// redelivered by a real event). Installed only by stacks whose burst
+    /// path is byte-identical to their per-packet path.
+    using BurstReceiver = std::function<std::size_t(PacketBurst&)>;
+
     virtual ~NetIf() = default;
 
     /// Largest payload this network carries in one frame.
@@ -51,7 +59,26 @@ public:
 
     virtual const std::string& name() const noexcept = 0;
 
-    void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+    /// Installing a plain receiver (tests tap interfaces this way) clears
+    /// any burst receiver: a tap must see the exact per-packet hand-off,
+    /// so burst delivery falls back to the per-entry path.
+    void set_receiver(Receiver receiver) {
+        receiver_ = std::move(receiver);
+        burst_receiver_ = nullptr;
+    }
+
+    /// Installs the burst fast path alongside the per-packet receiver.
+    /// IpStack::add_interface is the only expected caller.
+    void set_burst_receiver(BurstReceiver receiver) {
+        burst_receiver_ = std::move(receiver);
+    }
+
+    /// True when a whole run may be handed to deliver_burst(). A down
+    /// interface is not burst-capable: the fallback per-entry path applies
+    /// deliver()'s silent-discard rule at each packet's own arrival time.
+    bool burst_capable() const noexcept {
+        return up_ && static_cast<bool>(burst_receiver_);
+    }
 
     /// Administrative / failure state. A down interface silently discards
     /// traffic in both directions (a dead transceiver).
@@ -74,7 +101,9 @@ public:
     using DropObserver = std::function<void(const Packet&)>;
     void set_drop_observer(DropObserver observer) { drop_observer_ = std::move(observer); }
 
-    const NetIfStats& stats() const noexcept { return stats_; }
+    /// Virtual so transmitters with deferred accounting (the burst
+    /// in-flight ring) can settle up to now() before anyone reads.
+    virtual const NetIfStats& stats() const noexcept { return stats_; }
 
     /// The IP address bound to this interface (assigned by the builder).
     util::Ipv4Address address() const noexcept { return address_; }
@@ -88,11 +117,30 @@ protected:
         receiver_(std::move(packet));
     }
 
+    /// Hands a run up the stack. Receive stats accrue for exactly the
+    /// consumed prefix, after the receiver returns but before any pending
+    /// event fires — so a bailed-to event observes the same stats it would
+    /// have seen under per-packet delivery. Sizes are snapshotted first:
+    /// the receiver moves consumed packets out of their ring slots.
+    std::size_t deliver_burst(PacketBurst& burst) {
+        std::array<std::uint32_t, kBurst> sizes;
+        for (std::size_t i = 0; i < burst.count; ++i) {
+            sizes[i] = static_cast<std::uint32_t>(burst.items[i].packet->size());
+        }
+        const std::size_t consumed = burst_receiver_(burst);
+        for (std::size_t i = 0; i < consumed; ++i) {
+            ++stats_.packets_received;
+            stats_.bytes_received += sizes[i];
+        }
+        return consumed;
+    }
+
     void notify_drop(const Packet& packet) {
         if (drop_observer_) drop_observer_(packet);
     }
 
     Receiver receiver_;
+    BurstReceiver burst_receiver_;
     DropObserver drop_observer_;
     std::vector<std::function<void(bool)>> state_observers_;
     NetIfStats stats_;

@@ -5,6 +5,7 @@
 // (unique ids); protocol behaviour depends only on `bytes`.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <utility>
 
@@ -39,5 +40,26 @@ inline Packet make_packet(util::ByteBuffer bytes, sim::Simulator& sim) {
     p.enqueued = sim.now();
     return p;
 }
+
+/// Largest run of packets the burst forwarding pipeline hands up the stack
+/// in one descriptor array (DESIGN.md §"burst forwarding"). 32 descriptors
+/// keep the whole burst — packets, decoded headers, status flags — inside
+/// the L1 working set while amortizing the per-wakeup costs.
+inline constexpr std::size_t kBurst = 32;
+
+/// A stack-resident descriptor array for one delivery run: pointers into
+/// the transmitter's in-flight ring plus each packet's arrival time. The
+/// receiver consumes items in order, advancing the clock to each arrival
+/// (Simulator::advance_if_idle); a consumed item's Packet has been moved
+/// out of the ring slot. Never heap-allocated and never outlives the
+/// delivery call that built it.
+struct PacketBurst {
+    struct Item {
+        Packet* packet;
+        sim::Time arrival;
+    };
+    std::array<Item, kBurst> items;
+    std::size_t count = 0;
+};
 
 }  // namespace catenet::link

@@ -24,6 +24,16 @@ struct LinkParams {
     std::size_t mtu = 1500;
     std::size_t queue_capacity_packets = 64;
 
+    /// Largest backlog run the transmitter commits to the wire in one
+    /// wake-up (clamped to link::kBurst). Values <= 1 select the legacy
+    /// per-packet engine. Burst draining also requires a deterministic
+    /// channel (no loss, corruption or jitter — their RNG draws are
+    /// ordered by per-packet transmit events) and a FIFO queue; links that
+    /// fail the gate fall back to per-packet silently. The two engines
+    /// produce byte-identical traces, counters and flight-recorder
+    /// contents (see DESIGN.md §"burst forwarding").
+    std::size_t burst = 32;
+
     /// Time to clock `bytes` onto the wire at this rate. Exact 64-bit
     /// integer ceiling — a partial nanosecond still occupies the wire — so
     /// serialization delay is deterministic and precise at any rate (the
@@ -64,6 +74,13 @@ public:
     void set_queue_b(std::unique_ptr<PacketQueue> q);
     PacketQueue& queue_a() noexcept;
     PacketQueue& queue_b() noexcept;
+
+    /// Backlog depth as a per-packet observer would see it: packets still
+    /// queued plus burst-drained packets whose serialization has not yet
+    /// begun (they would still sit in the queue under per-packet
+    /// draining). The queue-depth gauges sample through this.
+    std::size_t queue_depth_a() noexcept;
+    std::size_t queue_depth_b() noexcept;
 
 private:
     class Port;

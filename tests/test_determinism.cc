@@ -138,6 +138,57 @@ TEST(Determinism, ShardedRunReplaysExactlyUnderThreads) {
     EXPECT_EQ(first, cooperative);
 }
 
+// The burst forwarding engine (LinkParams::burst, on by default for clean
+// FIFO links) is constrained to be invisible: a run with 32-deep drains
+// must match its per-packet twin on every signature field except
+// `events` — the burst engine's entire point is fewer wake-ups, so the
+// event count is the one number allowed (and expected) to drop.
+RunSignature run_burst_twin(std::uint64_t seed, std::size_t burst) {
+    core::Internetwork net(seed);
+    core::Host& a = net.add_host("a");
+    core::Host& b = net.add_host("b");
+    core::Gateway& g = net.add_gateway("g");
+    // Long fat links: 32 serializations (42.56us each at 100 Mb/s for a
+    // 532B datagram) fit inside 2 ms of propagation, so whole runs are in
+    // flight at once — the sustained-chain regime.
+    link::LinkParams wan;
+    wan.bits_per_second = 100'000'000;
+    wan.propagation_delay = sim::milliseconds(2);
+    wan.queue_capacity_packets = 64;
+    wan.burst = burst;
+    net.connect(a, g, wan);
+    net.connect(g, b, wan);
+    net.use_static_routes();
+
+    app::BulkServer server(b, 21);
+    app::BulkSender sender(a, b.address(), 21, 256 * 1024);
+    sender.start();
+    app::VoiceOverUdp voice(a, b, 5004);
+    voice.start(sim::seconds(10));
+    net.run_for(sim::seconds(60));
+
+    RunSignature sig;
+    sig.events = net.sim().events_processed();
+    sig.link_bytes = net.total_link_bytes();
+    sig.bytes_received = server.total_bytes_received();
+    sig.retransmits = sender.socket_stats().retransmitted_segments;
+    sig.voice_received = voice.report().frames_received;
+    sig.counters = net.metrics().totals();
+    return sig;
+}
+
+TEST(Determinism, BurstEngineEqualsPerPacketTwinExceptEvents) {
+    const auto burst = run_burst_twin(1234, 32);
+    const auto legacy = run_burst_twin(1234, 1);
+    EXPECT_LT(burst.events, legacy.events)
+        << "the burst engine never engaged — no run was ever drained";
+    RunSignature masked = burst;
+    masked.events = legacy.events;
+    EXPECT_EQ(masked, legacy);
+    EXPECT_EQ(burst.counters.slots, legacy.counters.slots);
+    EXPECT_GT(burst.bytes_received, 0u);
+}
+
 // Property: replay stability across many seeds (each seed replays itself).
 class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

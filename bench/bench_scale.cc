@@ -1,0 +1,240 @@
+// Scale benchmark: the tentpole measurement for ROADMAP item 3. Builds a
+// generated two-tier internet (default: 1024 transit gateways, 512 stub
+// LANs x 200 compact hosts = 103,424 nodes), reports
+//   - build time (topology + bulk-loaded oracle routes),
+//   - marginal resident bytes per host-class node (mallinfo2 heap delta
+//     across the leaf-population phase / hosts added),
+//   - steady-state forwarding pkts/s for leaf-to-leaf traffic waves
+//     crossing the mesh,
+// and writes BENCH_scale.json. With --gate, exits nonzero unless the
+// ISSUE-7 budgets hold: build <= 5 s and <= 150 bytes/host.
+//
+// Methodology notes. Bytes/host is *marginal*, not amortized: the heap is
+// snapshotted after the mesh (gateways + trunks) is built and again after
+// the leaf population lands, so gateway FIBs, link objects and registry
+// entries — costs that scale with the mesh, not the population — are
+// excluded by construction. That is the number the 150-byte budget
+// governs: what one more host costs. pkts/s is wall-clock packets
+// delivered end to end (inject at a leaf, tally at the destination leaf's
+// stub), not per-hop forwards.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__) || defined(__GLIBC_MINOR__)
+#include <malloc.h>
+#define CATENET_HAVE_MALLINFO2 1
+#else
+#define CATENET_HAVE_MALLINFO2 0
+#endif
+
+#include "core/internetwork.h"
+#include "core/topology_gen.h"
+
+namespace {
+
+using namespace catenet;
+
+struct Options {
+    std::uint32_t gateways = 1024;
+    std::uint32_t lans = 512;
+    std::uint32_t hosts = 200;
+    std::uint64_t seed = 7;
+    std::uint32_t rounds = 32;   ///< traffic waves (one packet per LAN each)
+    std::string out = "BENCH_scale.json";
+    bool gate = false;
+};
+
+std::size_t heap_bytes() {
+#if CATENET_HAVE_MALLINFO2
+    // uordblks: total allocated space, arena + mmapped. The marginal
+    // delta between two snapshots is what the intervening phase kept.
+    struct mallinfo2 mi = mallinfo2();
+    return mi.uordblks + mi.hblkhd;
+#else
+    return 0;  // no allocator introspection on this libc; gate is skipped
+#endif
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char* flag) -> const char* {
+            if (std::strcmp(argv[i], flag) != 0) return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (const char* v = value("--gateways")) {
+            opt.gateways = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (const char* v = value("--lans")) {
+            opt.lans = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (const char* v = value("--hosts")) {
+            opt.hosts = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (const char* v = value("--seed")) {
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char* v = value("--rounds")) {
+            opt.rounds = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (const char* v = value("--out")) {
+            opt.out = v;
+        } else if (std::strcmp(argv[i], "--gate") == 0) {
+            opt.gate = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_scale [--gateways K] [--lans N] [--hosts H]\n"
+                         "                   [--seed S] [--rounds R] [--out FILE] [--gate]\n");
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse(argc, argv);
+
+    core::TwoTierParams params;
+    params.gateways = opt.gateways;
+    params.lans = opt.lans;
+    params.hosts_per_lan = opt.hosts;
+    params.seed = opt.seed;
+    params.compact_hosts = true;
+    params.install_routes = false;  // phased below, so each phase is timed
+    // A fast, deep-queued core: the benchmark measures the simulator's
+    // forwarding machinery, not a 10 Mb/s bottleneck's queueing.
+    params.trunk.bits_per_second = 1'000'000'000;
+    params.trunk.propagation_delay = sim::microseconds(50);
+    params.trunk.queue_capacity_packets = 256;
+
+    core::Internetwork net(opt.seed);
+    const auto t_build = std::chrono::steady_clock::now();
+
+    // Phase 1: the transit mesh (plan + gateways + trunks).
+    const core::TwoTierPlan plan = core::plan_two_tier(params);
+    std::vector<core::Gateway*> gateways;
+    gateways.reserve(params.gateways);
+    for (std::uint32_t i = 0; i < params.gateways; ++i) {
+        gateways.push_back(&net.add_gateway("gw" + std::to_string(i)));
+    }
+    for (const auto& [a, b] : plan.trunks) {
+        net.connect(*gateways[a], *gateways[b], params.trunk);
+    }
+
+    // Phase 2: the leaf population, bracketed by heap snapshots. The
+    // reservation happens *inside* the bracket: the node arrays' capacity
+    // is per-host cost and must be charged to the hosts, not the mesh.
+    const std::size_t heap_before_hosts = heap_bytes();
+    net.topology().reserve_nodes(
+        params.gateways + std::size_t{params.lans} * params.hosts_per_lan,
+        std::size_t{params.lans} * params.hosts_per_lan);
+    std::vector<std::uint32_t> leaf_lans;
+    leaf_lans.reserve(params.lans);
+    for (std::uint32_t l = 0; l < params.lans; ++l) {
+        leaf_lans.push_back(net.add_leaf_lan(*gateways[plan.lan_home[l]],
+                                             params.hosts_per_lan,
+                                             "leaf" + std::to_string(l)));
+    }
+    const std::size_t heap_after_hosts = heap_bytes();
+
+    // Phase 3: oracle routes, one bulk load per gateway.
+    const auto t_routes = std::chrono::steady_clock::now();
+    net.use_static_routes();
+    const double route_seconds = seconds_since(t_routes);
+    const double build_seconds = seconds_since(t_build);
+
+    const std::size_t total_hosts = std::size_t{params.lans} * params.hosts_per_lan;
+    const std::size_t total_nodes = total_hosts + params.gateways;
+    const double bytes_per_host =
+        heap_after_hosts > heap_before_hosts && total_hosts > 0
+            ? static_cast<double>(heap_after_hosts - heap_before_hosts) /
+                  static_cast<double>(total_hosts)
+            : 0.0;
+
+    // Phase 4: steady-state forwarding soak. Each wave injects one
+    // datagram per LAN (host i of LAN l toward host i of the LAN half the
+    // ring away), then drains; paths spread across the whole mesh.
+    core::TopologyStore& topo = net.topology();
+    const std::uint8_t payload[8] = {0xC5, 0, 0, 0, 0, 0, 0, 0};
+    std::uint64_t injected = 0;
+    const auto t_soak = std::chrono::steady_clock::now();
+    for (std::uint32_t round = 0; round < opt.rounds; ++round) {
+        const std::uint32_t host_index = round % params.hosts_per_lan;
+        for (std::uint32_t l = 0; l < params.lans; ++l) {
+            const std::uint32_t dst_lan = (l + params.lans / 2) % params.lans;
+            if (dst_lan == l) continue;
+            const core::NodeId src = topo.leaf_host(leaf_lans[l], host_index);
+            const core::NodeId dst = topo.leaf_host(leaf_lans[dst_lan], host_index);
+            if (topo.leaf_inject(src, topo.address(dst), 253, payload, 255)) {
+                ++injected;
+            }
+        }
+        net.run_for(sim::seconds(2));  // drain the wave completely
+    }
+    const double soak_seconds = seconds_since(t_soak);
+    const std::uint64_t delivered = topo.leaf_delivered_total();
+    const double pkts_per_second =
+        soak_seconds > 0 ? static_cast<double>(delivered) / soak_seconds : 0.0;
+
+    const bool build_ok = build_seconds <= 5.0;
+    const bool memory_ok = !CATENET_HAVE_MALLINFO2 || bytes_per_host <= 150.0;
+
+    std::printf("bench_scale: %zu nodes (%u gateways, %u LANs x %u hosts)\n",
+                total_nodes, params.gateways, params.lans, params.hosts_per_lan);
+    std::printf("  build: %.3f s (routes %.3f s)  [budget 5 s: %s]\n", build_seconds,
+                route_seconds, build_ok ? "ok" : "FAIL");
+    std::printf("  marginal bytes/host: %.1f  [budget 150: %s]\n", bytes_per_host,
+                CATENET_HAVE_MALLINFO2 ? (memory_ok ? "ok" : "FAIL") : "skipped");
+    std::printf("  soak: %llu injected, %llu delivered, %.0f pkts/s end-to-end\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(delivered), pkts_per_second);
+
+    if (FILE* f = std::fopen(opt.out.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"benchmark\": \"bench_scale\",\n"
+                     "  \"gateways\": %u,\n"
+                     "  \"lans\": %u,\n"
+                     "  \"hosts_per_lan\": %u,\n"
+                     "  \"total_nodes\": %zu,\n"
+                     "  \"seed\": %llu,\n"
+                     "  \"build_seconds\": %.6f,\n"
+                     "  \"route_seconds\": %.6f,\n"
+                     "  \"bytes_per_host\": %.2f,\n"
+                     "  \"mallinfo2_available\": %s,\n"
+                     "  \"soak_rounds\": %u,\n"
+                     "  \"packets_injected\": %llu,\n"
+                     "  \"packets_delivered\": %llu,\n"
+                     "  \"soak_seconds\": %.6f,\n"
+                     "  \"pkts_per_second\": %.0f,\n"
+                     "  \"gate_build_le_5s\": %s,\n"
+                     "  \"gate_bytes_per_host_le_150\": %s\n"
+                     "}\n",
+                     params.gateways, params.lans, params.hosts_per_lan, total_nodes,
+                     static_cast<unsigned long long>(opt.seed), build_seconds,
+                     route_seconds, bytes_per_host,
+                     CATENET_HAVE_MALLINFO2 ? "true" : "false", opt.rounds,
+                     static_cast<unsigned long long>(injected),
+                     static_cast<unsigned long long>(delivered), soak_seconds,
+                     pkts_per_second, build_ok ? "true" : "false",
+                     memory_ok ? "true" : "false");
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "bench_scale: cannot write %s\n", opt.out.c_str());
+        return 3;
+    }
+
+    if (opt.gate && (!build_ok || !memory_ok)) return 1;
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/flow.h"
+#include "core/topology_gen.h"
 #include "link/presets.h"
 #include "link/queue.h"
 
@@ -175,7 +176,54 @@ ScenarioReport run_scenario(const std::string& text, std::uint64_t seed) {
         if (tokens.empty()) continue;
         const std::string& cmd = tokens[0];
 
-        if (cmd == "host" && tokens.size() == 2) {
+        if (cmd == "generate" && tokens.size() >= 5 && tokens[1] == "two_tier") {
+            core::TwoTierParams params;
+            params.seed = seed;
+            try {
+                params.gateways = static_cast<std::uint32_t>(std::stoul(tokens[2]));
+                params.lans = static_cast<std::uint32_t>(std::stoul(tokens[3]));
+                params.hosts_per_lan = static_cast<std::uint32_t>(std::stoul(tokens[4]));
+            } catch (const std::exception&) {
+                throw ScenarioError(line, "generate two_tier needs numeric "
+                                          "<gateways> <lans> <hosts_per_lan>");
+            }
+            for (std::size_t i = 5; i < tokens.size(); ++i) {
+                if (tokens[i] == "compact") {
+                    params.compact_hosts = true;
+                } else if (tokens[i] == "full") {
+                    params.compact_hosts = false;
+                } else if (tokens[i].rfind("seed=", 0) == 0) {
+                    try {
+                        params.seed = std::stoull(tokens[i].substr(5));
+                    } catch (const std::exception&) {
+                        throw ScenarioError(line, "bad value in '" + tokens[i] + "'");
+                    }
+                } else {
+                    throw ScenarioError(line, "unknown generate option '" + tokens[i] +
+                                                  "' (compact, full, seed=N)");
+                }
+            }
+            core::TwoTierTopology topo;
+            try {
+                topo = core::generate_two_tier(*net, params);
+            } catch (const std::exception& e) {
+                throw ScenarioError(line, e.what());
+            }
+            // The generated population joins the name tables: gateways as
+            // gw<i>, materialized hosts as h<lan>_<host> — later transfer /
+            // voice / fail directives address them like hand-declared nodes.
+            for (std::size_t i = 0; i < topo.gateways.size(); ++i) {
+                gateways["gw" + std::to_string(i)] = topo.gateways[i];
+            }
+            for (std::size_t l = 0, h = 0; l < params.lans && !params.compact_hosts;
+                 ++l) {
+                for (std::uint32_t k = 0; k < params.hosts_per_lan; ++k, ++h) {
+                    hosts["h" + std::to_string(l) + "_" + std::to_string(k)] =
+                        topo.hosts[h];
+                }
+            }
+            routing_configured = params.install_routes;
+        } else if (cmd == "host" && tokens.size() == 2) {
             hosts[tokens[1]] = &net->add_host(tokens[1]);
         } else if (cmd == "gateway" && tokens.size() == 2) {
             gateways[tokens[1]] = &net->add_gateway(tokens[1]);

@@ -3,6 +3,11 @@
 // Used by the `run_scenario` example binary and scriptable benchmarks.
 //
 //   # comment                      (blank lines ignored)
+//   generate two_tier 8 16 61 full # deterministic AS-like internet: 8-gateway
+//                                  #   mesh, 16 LANs x 61 hosts (gw<i>,
+//                                  #   h<lan>_<host>); `compact` for array-only
+//                                  #   hosts, seed=N to pin the shape; installs
+//                                  #   static routes
 //   host alice
 //   host bob
 //   gateway g1

@@ -1,5 +1,9 @@
 #include "core/flow.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
 #include "util/byte_buffer.h"
 
 namespace catenet::core {
@@ -45,31 +49,97 @@ std::optional<FlowKey> classify_packet(std::span<const std::uint8_t> wire) {
     return key;
 }
 
-void FlowTable::record(const FlowKey& key, std::size_t bytes, sim::Time now) {
-    auto [it, inserted] = flows_.try_emplace(key);
-    FlowRecord& rec = it->second;
-    if (inserted) {
-        rec.first_seen = now;
-        ++stats_.flows_created;
+void FlowTable::rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    shift_ = 64 - static_cast<unsigned>(std::countr_zero(capacity));
+    tombstones_ = 0;
+    const std::size_t mask = capacity - 1;
+    for (Slot& slot : old) {
+        if (slot.state != kFull) continue;
+        std::size_t i = slot_index(slot.key);
+        while (slots_[i].state == kFull) i = (i + 1) & mask;
+        slots_[i] = std::move(slot);
     }
-    ++rec.packets;
-    rec.bytes += bytes;
-    rec.last_seen = now;
-    ++stats_.packets_accounted;
+}
+
+void FlowTable::record(const FlowKey& key, std::size_t bytes, sim::Time now) {
+    // Grow before the probe when live + dead slots pass 3/4 load, so the
+    // probe sequence below always terminates at an empty slot.
+    if (slots_.empty()) {
+        rehash(16);
+    } else if ((size_ + tombstones_ + 1) * 4 > slots_.size() * 3) {
+        // Doubling also purges tombstones; a sweep-heavy table may shrink
+        // its probe chains without growing live occupancy.
+        rehash(slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = slot_index(key);
+    std::size_t insert_at = SIZE_MAX;
+    while (true) {
+        Slot& slot = slots_[i];
+        if (slot.state == kFull && slot.key == key) {
+            ++slot.rec.packets;
+            slot.rec.bytes += bytes;
+            slot.rec.last_seen = now;
+            ++stats_.packets_accounted;
+            return;
+        }
+        if (slot.state == kTombstone && insert_at == SIZE_MAX) insert_at = i;
+        if (slot.state == kEmpty) {
+            if (insert_at == SIZE_MAX) {
+                insert_at = i;
+            } else {
+                --tombstones_;  // reusing a dead slot
+            }
+            Slot& dest = slots_[insert_at];
+            dest.key = key;
+            dest.rec = FlowRecord{};
+            dest.rec.first_seen = now;
+            dest.rec.last_seen = now;
+            dest.rec.packets = 1;
+            dest.rec.bytes = bytes;
+            dest.state = kFull;
+            ++size_;
+            ++stats_.flows_created;
+            ++stats_.packets_accounted;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
 }
 
 std::size_t FlowTable::sweep(sim::Time now) {
     std::size_t evicted = 0;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-        if (it->second.last_seen + idle_timeout_ <= now) {
-            it = flows_.erase(it);
+    for (Slot& slot : slots_) {
+        if (slot.state != kFull) continue;
+        if (slot.rec.last_seen + idle_timeout_ <= now) {
+            slot.state = kTombstone;
+            --size_;
+            ++tombstones_;
             ++evicted;
             ++stats_.flows_expired;
-        } else {
-            ++it;
         }
     }
     return evicted;
+}
+
+void FlowTable::clear() {
+    slots_.clear();
+    shift_ = 64;
+    size_ = 0;
+    tombstones_ = 0;
+}
+
+std::vector<std::pair<FlowKey, FlowRecord>> FlowTable::flows() const {
+    std::vector<std::pair<FlowKey, FlowRecord>> out;
+    out.reserve(size_);
+    for (const Slot& slot : slots_) {
+        if (slot.state == kFull) out.emplace_back(slot.key, slot.rec);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
 }
 
 }  // namespace catenet::core

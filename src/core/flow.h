@@ -8,9 +8,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "ip/ipv4_header.h"
 #include "sim/simulator.h"
@@ -52,6 +53,13 @@ struct FlowTableStats {
 /// Per-gateway flow accounting with idle eviction. All state is
 /// reconstructible from traffic: `clear()` (a crash) loses only history,
 /// never correctness.
+///
+/// Storage is an open-addressed table (Fibonacci hashing over
+/// FlowKey::hash(), linear probing, tombstone deletion — the ConnTable
+/// pattern): record() is one probe sequence over a flat slot array, no
+/// tree nodes, no per-flow allocation. flows() returns a key-sorted
+/// snapshot so reporting order stays deterministic regardless of hash
+/// layout.
 class FlowTable {
 public:
     explicit FlowTable(sim::Time idle_timeout = sim::seconds(30))
@@ -62,15 +70,35 @@ public:
     /// Evicts flows idle past the timeout; returns how many were evicted.
     std::size_t sweep(sim::Time now);
 
-    void clear() { flows_.clear(); }
+    void clear();
 
-    std::size_t active_flows() const noexcept { return flows_.size(); }
-    const std::map<FlowKey, FlowRecord>& flows() const noexcept { return flows_; }
+    std::size_t active_flows() const noexcept { return size_; }
+    /// Key-sorted snapshot of the active flows (deterministic iteration
+    /// order for reports and tests — independent of hash layout).
+    std::vector<std::pair<FlowKey, FlowRecord>> flows() const;
     const FlowTableStats& stats() const noexcept { return stats_; }
 
 private:
+    enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+    struct Slot {
+        FlowKey key;
+        FlowRecord rec;
+        std::uint8_t state = kEmpty;
+    };
+
+    std::size_t slot_index(const FlowKey& key) const noexcept {
+        // Fibonacci hashing: the golden-ratio multiply spreads FNV's
+        // low-entropy high bits before the power-of-two shift.
+        return static_cast<std::size_t>((key.hash() * 0x9E3779B97F4A7C15ull) >>
+                                        shift_);
+    }
+    void rehash(std::size_t capacity);
+
     sim::Time idle_timeout_;
-    std::map<FlowKey, FlowRecord> flows_;
+    std::vector<Slot> slots_;
+    unsigned shift_ = 64;      ///< 64 - log2(capacity); 64 = not yet allocated
+    std::size_t size_ = 0;     ///< live entries
+    std::size_t tombstones_ = 0;
     FlowTableStats stats_;
 };
 

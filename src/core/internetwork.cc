@@ -1,78 +1,10 @@
 #include "core/internetwork.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
 
 namespace catenet::core {
-
-std::vector<std::uint32_t> partition_topology(std::size_t node_count,
-                                              std::vector<PartitionEdge> edges,
-                                              std::size_t shards) {
-    if (shards == 0) throw std::invalid_argument("partition_topology: zero shards");
-    // Union-find over node indices.
-    std::vector<std::size_t> parent(node_count);
-    std::iota(parent.begin(), parent.end(), std::size_t{0});
-    auto find = [&parent](std::size_t x) {
-        while (parent[x] != x) {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        return x;
-    };
-    std::size_t components = node_count;
-    auto unite = [&](std::size_t a, std::size_t b) {
-        a = find(a);
-        b = find(b);
-        if (a == b) return;
-        // Deterministic root choice: lower index wins.
-        if (b < a) std::swap(a, b);
-        parent[b] = a;
-        --components;
-    };
-
-    for (const PartitionEdge& e : edges) {
-        if (!e.cuttable) unite(e.a, e.b);
-    }
-    // Contract low-lookahead edges first, so the cut that survives is the
-    // set of highest-latency links — the best lookahead the topology has.
-    std::stable_sort(edges.begin(), edges.end(),
-                     [](const PartitionEdge& x, const PartitionEdge& y) {
-                         if (x.lookahead_ns != y.lookahead_ns)
-                             return x.lookahead_ns < y.lookahead_ns;
-                         if (x.a != y.a) return x.a < y.a;
-                         return x.b < y.b;
-                     });
-    for (const PartitionEdge& e : edges) {
-        if (components <= shards) break;
-        if (e.cuttable) unite(e.a, e.b);
-    }
-
-    // Components, largest first (min node index breaks size ties), packed
-    // onto the least-loaded shard (lowest id breaks load ties): LPT.
-    std::map<std::size_t, std::size_t> size_of;  // root -> node count
-    for (std::size_t i = 0; i < node_count; ++i) ++size_of[find(i)];
-    std::vector<std::pair<std::size_t, std::size_t>> comps(size_of.begin(),
-                                                           size_of.end());
-    std::stable_sort(comps.begin(), comps.end(),
-                     [](const auto& x, const auto& y) {
-                         if (x.second != y.second) return x.second > y.second;
-                         return x.first < y.first;
-                     });
-    std::vector<std::size_t> load(shards, 0);
-    std::map<std::size_t, std::uint32_t> shard_of_root;
-    for (const auto& [root, size] : comps) {
-        const auto lightest = static_cast<std::uint32_t>(
-            std::min_element(load.begin(), load.end()) - load.begin());
-        shard_of_root[root] = lightest;
-        load[lightest] += size;
-    }
-    std::vector<std::uint32_t> out(node_count);
-    for (std::size_t i = 0; i < node_count; ++i) out[i] = shard_of_root[find(i)];
-    return out;
-}
 
 Internetwork::Internetwork(std::uint64_t seed) : rng_(seed) {}
 
@@ -92,7 +24,7 @@ Host& Internetwork::add_host(const std::string& name, std::uint32_t shard) {
     hosts_.push_back(std::make_unique<Host>(shard_sim(shard), name, rng_));
     Host& host = *hosts_.back();
     node_ptrs_.push_back(&host);
-    shard_of_[&host] = shard;
+    host.set_id(store_.add_node(NodeKind::Host, shard, &host));
     registry_.register_node(name, shard,
                             {&host.ip().counters(), &host.tcp().counters(),
                              &host.udp().counters()});
@@ -104,13 +36,9 @@ Gateway& Internetwork::add_gateway(const std::string& name, std::uint32_t shard)
     gateways_.push_back(std::make_unique<Gateway>(shard_sim(shard), name));
     Gateway& gw = *gateways_.back();
     node_ptrs_.push_back(&gw);
-    shard_of_[&gw] = shard;
+    gw.set_id(store_.add_node(NodeKind::Gateway, shard, &gw));
     registry_.register_node(name, shard, {&gw.ip().counters()});
     return gw;
-}
-
-std::uint32_t Internetwork::shard_of(const Node& node) const {
-    return shard_of_.at(&node);
 }
 
 util::Ipv4Prefix Internetwork::allocate_subnet() {
@@ -118,6 +46,15 @@ util::Ipv4Prefix Internetwork::allocate_subnet() {
     if (n > 0xffff) throw std::runtime_error("subnet space exhausted");
     return util::Ipv4Prefix(
         util::Ipv4Address(10, static_cast<std::uint8_t>(n >> 8),
+                          static_cast<std::uint8_t>(n & 0xff), 0),
+        24);
+}
+
+util::Ipv4Prefix Internetwork::allocate_leaf_subnet() {
+    const std::uint32_t n = next_leaf_subnet_++;
+    if (n > 0xffff) throw std::runtime_error("leaf subnet space exhausted");
+    return util::Ipv4Prefix(
+        util::Ipv4Address(11, static_cast<std::uint8_t>(n >> 8),
                           static_cast<std::uint8_t>(n & 0xff), 0),
         24);
 }
@@ -173,9 +110,19 @@ std::size_t Internetwork::connect(Node& a, Node& b, const link::LinkParams& para
         index = kBoundaryIndexBase + boundary_links_.size() - 1;
     }
 
-    adjacency_[&a].push_back(EdgeRef{&b, if_a, addr_b});
-    adjacency_[&b].push_back(EdgeRef{&a, if_b, addr_a});
-    subnets_.push_back(Subnet{subnet, {{&a, if_a, addr_a}, {&b, if_b, addr_b}}});
+    TopologyStore::LinkRow row;
+    row.a = a.id();
+    row.b = b.id();
+    row.ifindex_a = static_cast<std::uint32_t>(if_a);
+    row.ifindex_b = static_cast<std::uint32_t>(if_b);
+    row.addr_a = addr_a;
+    row.addr_b = addr_b;
+    row.subnet = subnet;
+    // The same formula BoundaryLink uses for its channel lookahead:
+    // propagation plus clocking one byte.
+    row.lookahead_ns =
+        params.propagation_delay.nanos() + params.transmission_time(1).nanos();
+    store_.add_link(row);
     return index;
 }
 
@@ -183,109 +130,120 @@ std::size_t Internetwork::add_lan(const link::LanParams& params, const std::stri
                                   std::uint32_t shard) {
     check_shard(shard);
     lans_.push_back(std::make_unique<link::Lan>(shard_sim(shard), rng_, params, name));
-    const std::size_t index = lans_.size() - 1;
-    lan_next_host_.push_back(1);
-    lan_shard_.push_back(shard);
-    lan_subnet_[index] = allocate_subnet();
-    subnets_.push_back(Subnet{lan_subnet_[index], {}});
-    return index;
+    return store_.add_lan(allocate_subnet(), shard);
 }
 
 util::Ipv4Address Internetwork::attach_to_lan(Node& node, std::size_t lan_index) {
     auto& lan = *lans_.at(lan_index);
-    if (psim_ != nullptr && shard_of(node) != lan_shard_.at(lan_index)) {
+    TopologyStore::LanRow& row = store_.lan(static_cast<std::uint32_t>(lan_index));
+    if (psim_ != nullptr && shard_of(node) != row.shard) {
         // A LAN's medium (contention, broadcast) is one shared state; it
         // cannot straddle shards. Cut at point-to-point links instead.
         throw std::logic_error("attach_to_lan: node " + node.name() +
                                " is in a different shard than the LAN");
     }
-    const auto subnet = lan_subnet_.at(lan_index);
-    const std::size_t host_octet = lan_next_host_.at(lan_index)++;
+    const std::uint32_t host_octet = row.next_octet++;
     if (host_octet >= 255) throw std::runtime_error("LAN address space exhausted");
-    const util::Ipv4Address addr(subnet.address().value() +
-                                 static_cast<std::uint32_t>(host_octet));
+    const util::Ipv4Address addr(row.subnet.address().value() + host_octet);
     const std::size_t port_index = lan.port_count();
     auto& port = lan.add_port();
-    const std::size_t ifindex = node.ip().add_interface(port, addr, subnet);
+    const std::size_t ifindex = node.ip().add_interface(port, addr, row.subnet);
     lan.register_address(addr, port_index);
-
-    // A LAN is a full mesh at the node-graph level: every prior attachee
-    // becomes a neighbor.
-    for (auto& subnet_rec : subnets_) {
-        if (subnet_rec.prefix == subnet) {
-            for (const Attachment& prior : subnet_rec.attached) {
-                adjacency_[&node].push_back(EdgeRef{prior.node, ifindex, prior.addr});
-                adjacency_[prior.node].push_back(EdgeRef{&node, prior.ifindex, addr});
-            }
-            subnet_rec.attached.push_back(Attachment{&node, ifindex, addr});
-            break;
-        }
-    }
+    store_.attach_to_lan(static_cast<std::uint32_t>(lan_index), node.id(),
+                         static_cast<std::uint32_t>(ifindex), addr);
     return addr;
 }
 
-void Internetwork::use_static_routes() {
-    constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+std::uint32_t Internetwork::add_leaf_lan(Gateway& gateway, std::uint32_t hosts,
+                                         const std::string& name) {
+    const std::uint32_t shard = shard_of(gateway);
+    const std::uint32_t index = store_.add_leaf_lan(
+        gateway.ip(), gateway.id(), allocate_leaf_subnet(), hosts,
+        shard_sim(shard), name + "." + gateway.name());
+    registry_.register_node(name + "." + gateway.name(), shard,
+                            {&store_.leaf_counters(index)});
+    return index;
+}
 
-    for (Node* origin : node_ptrs_) {
+void Internetwork::use_static_routes() {
+    constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+    store_.build_csr();
+    const std::size_t n = store_.node_count();
+    std::vector<std::uint32_t> dist(n, kInf);
+    std::vector<const Incidence*> first_hop(n, nullptr);
+    std::vector<NodeId> frontier;
+    std::vector<ip::Route> batch;
+    TopologyStore::Attachment scratch[2];
+
+    for (Node* origin_node : node_ptrs_) {
+        const NodeId origin = origin_node->id();
         // BFS recording, for each reached node, the first edge taken from
-        // `origin` on a shortest path.
-        std::map<Node*, std::size_t> dist;
-        std::map<Node*, const EdgeRef*> first_hop;
-        std::deque<Node*> frontier;
-        dist[origin] = 0;
+        // `origin` on a shortest path. Neighbor order is chronological
+        // (edge/attach creation order) — the deterministic tie-break.
+        frontier.clear();
         frontier.push_back(origin);
-        while (!frontier.empty()) {
-            Node* current = frontier.front();
-            frontier.pop_front();
-            for (const EdgeRef& edge : adjacency_[current]) {
-                if (dist.contains(edge.peer)) continue;
+        dist[origin] = 0;
+        for (std::size_t head = 0; head < frontier.size(); ++head) {
+            const NodeId current = frontier[head];
+            for (const Incidence& edge : store_.neighbors(current)) {
+                if (dist[edge.peer] != kInf) continue;
                 dist[edge.peer] = dist[current] + 1;
-                first_hop[edge.peer] = current == origin ? &edge : first_hop[current];
+                first_hop[edge.peer] =
+                    current == origin ? &edge : first_hop[current];
                 frontier.push_back(edge.peer);
             }
         }
 
-        for (const Subnet& subnet : subnets_) {
+        batch.clear();
+        for (const TopologyStore::SubnetRef& ref : store_.subnets()) {
+            const auto attached = store_.subnet_attachments(ref, scratch);
             // Skip subnets this node touches (connected route suffices).
             bool connected = false;
-            for (const Attachment& attached : subnet.attached) {
-                if (attached.node == origin) connected = true;
+            for (const TopologyStore::Attachment& att : attached) {
+                if (att.node == origin) connected = true;
             }
             if (connected) continue;
 
-            // Nearest attached node.
-            Node* best = nullptr;
-            std::size_t best_dist = kInf;
-            for (const Attachment& attached : subnet.attached) {
-                auto it = dist.find(attached.node);
-                if (it != dist.end() && it->second < best_dist) {
-                    best = attached.node;
-                    best_dist = it->second;
+            // Nearest attached node (first wins ties, in attach order).
+            NodeId best = kNoNode;
+            std::uint32_t best_dist = kInf;
+            for (const TopologyStore::Attachment& att : attached) {
+                if (dist[att.node] < best_dist) {
+                    best = att.node;
+                    best_dist = dist[att.node];
                 }
             }
-            if (best == nullptr) continue;  // unreachable
+            if (best == kNoNode) continue;  // unreachable
 
-            const EdgeRef* hop = first_hop[best];
+            const Incidence* hop = first_hop[best];
             ip::Route route;
-            route.prefix = subnet.prefix;
+            route.prefix = store_.subnet_prefix(ref);
             route.next_hop = hop->peer_addr;
-            route.ifindex = hop->my_ifindex;
-            route.metric = static_cast<std::uint32_t>(best_dist);
+            route.ifindex = hop->ifindex;
+            route.metric = best_dist;
             route.origin = "static";
-            origin->ip().routing_table().install(route);
+            batch.push_back(route);
+        }
+        origin_node->ip().routing_table().bulk_load(batch);
+
+        // Undo only what the BFS touched: resetting the full arrays per
+        // origin would be O(nodes²) across a large build.
+        for (const NodeId id : frontier) {
+            dist[id] = kInf;
+            first_hop[id] = nullptr;
         }
     }
 }
 
 void Internetwork::install_host_default_routes() {
+    store_.build_csr();
     for (auto& host : hosts_) {
-        const auto& edges = adjacency_[host.get()];
+        const auto edges = store_.neighbors(host->id());
         if (edges.empty()) continue;
         // Prefer a gateway neighbor.
-        const EdgeRef* chosen = &edges.front();
-        for (const EdgeRef& edge : edges) {
-            if (dynamic_cast<Gateway*>(edge.peer) != nullptr) {
+        const Incidence* chosen = &edges.front();
+        for (const Incidence& edge : edges) {
+            if (store_.kind(edge.peer) == NodeKind::Gateway) {
                 chosen = &edge;
                 break;
             }
@@ -293,7 +251,7 @@ void Internetwork::install_host_default_routes() {
         ip::Route route;
         route.prefix = util::Ipv4Prefix(util::Ipv4Address(0), 0);
         route.next_hop = chosen->peer_addr;
-        route.ifindex = chosen->my_ifindex;
+        route.ifindex = chosen->ifindex;
         route.origin = "static";
         host->ip().routing_table().install(route);
     }
@@ -332,6 +290,7 @@ telemetry::FlightRecorder& Internetwork::attach_flight_recorder(
 }
 
 telemetry::GaugeSampler& Internetwork::sampler_for(std::uint32_t shard) {
+    if (samplers_.size() <= shard) samplers_.resize(shard + 1);
     auto& slot = samplers_[shard];
     if (slot == nullptr) {
         slot = std::make_unique<telemetry::GaugeSampler>(shard_sim(shard));
@@ -374,8 +333,8 @@ void Internetwork::enable_gauge_sampling(sim::Time period) {
         }
     }
     // Samplers created before this call (watch_tcp first) start here.
-    for (auto& [shard, sampler] : samplers_) {
-        if (!sampler->running()) sampler->start(period);
+    for (auto& sampler : samplers_) {
+        if (sampler != nullptr && !sampler->running()) sampler->start(period);
     }
 }
 

@@ -5,6 +5,15 @@
 // injects failures. Every experiment and example builds its topology
 // through this class.
 //
+// The builder's graph lives in a TopologyStore (core/topology_store.h):
+// nodes are dense ids into parallel arrays, adjacency is chronological
+// incidence lists frozen to CSR spans for the routing passes, and LAN /
+// subnet metadata are flat vectors — no pointer-keyed maps anywhere on
+// the build or route-computation paths. Host/Gateway objects are still
+// owned here for the object-level API; million-node populations use
+// add_leaf_lan, which creates *compact* hosts that exist only in the
+// store's arrays.
+//
 // A builder bound to a sim::ParallelSimulator places each node in a shard
 // (the `shard` argument on add_host/add_gateway/add_lan). connect() then
 // picks the link type automatically: same shard — the ordinary
@@ -16,12 +25,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/node.h"
+#include "core/topology_store.h"
 #include "link/boundary.h"
 #include "link/lan.h"
 #include "link/point_to_point.h"
@@ -33,25 +42,6 @@
 #include "util/random.h"
 
 namespace catenet::core {
-
-/// One edge of the node graph as seen by the partitioner.
-struct PartitionEdge {
-    std::size_t a = 0;  ///< node indices (order of add_host/add_gateway)
-    std::size_t b = 0;
-    std::int64_t lookahead_ns = 0;  ///< link propagation + 1-byte serialization
-    bool cuttable = true;  ///< false pins both ends into one shard (e.g. LANs)
-};
-
-/// Greedy latency-aware partition of a node graph into `shards` parts.
-/// Non-cuttable edges are contracted first; then cuttable edges merge in
-/// ascending lookahead order until at most `shards` components remain —
-/// the surviving cut set is the highest-latency edges, which maximizes the
-/// conservative engine's lookahead. Components pack into shards largest
-/// first onto the least-loaded shard. Fully deterministic. Returns the
-/// shard id per node.
-std::vector<std::uint32_t> partition_topology(std::size_t node_count,
-                                              std::vector<PartitionEdge> edges,
-                                              std::size_t shards);
 
 class Internetwork {
 public:
@@ -93,11 +83,30 @@ public:
     /// Attaches a node to a LAN; returns the address it was given.
     util::Ipv4Address attach_to_lan(Node& node, std::size_t lan_index);
 
-    std::uint32_t shard_of(const Node& node) const;
+    /// Creates a stub LAN of `hosts` *compact* leaf hosts homed on
+    /// `gateway` (no Host objects: the hosts exist only in the topology
+    /// store's arrays and share one default-route record and one telemetry
+    /// counter block). Allocates an 11.x.y.0/24 subnet — disjoint from the
+    /// 10.x space links and materialized LANs use — and registers the
+    /// shared counters with the metrics registry. Returns the leaf-LAN
+    /// index; address/inject/delivery queries go through topology().
+    std::uint32_t add_leaf_lan(Gateway& gateway, std::uint32_t hosts,
+                               const std::string& name = "leaf");
+
+    std::uint32_t shard_of(const Node& node) const {
+        return store_.shard(node.id());
+    }
+
+    /// The struct-of-arrays topology under this builder: node kinds /
+    /// shards / addresses, CSR adjacency, the flat edge table the
+    /// partitioner consumes, and the leaf-host population.
+    TopologyStore& topology() noexcept { return store_; }
+    const TopologyStore& topology() const noexcept { return store_; }
 
     // --- routing --------------------------------------------------------
     /// Installs oracle shortest-path static routes everywhere (topology
-    /// known to the operator; does not adapt to failures).
+    /// known to the operator; does not adapt to failures). One bulk load
+    /// per node: the per-route cost is a sort key, not a table rebuild.
     void use_static_routes();
 
     /// Gives every host a default route via an adjacent gateway (or any
@@ -125,6 +134,8 @@ public:
     }
     std::size_t boundary_link_count() const noexcept { return boundary_links_.size(); }
 
+    /// Materialized nodes only (leaf hosts have no objects), in
+    /// construction order.
     const std::vector<Node*>& nodes() const noexcept { return node_ptrs_; }
 
     /// Total bytes clocked onto all wires — the "byte-hops" cost metric
@@ -170,44 +181,26 @@ public:
     }
 
 private:
-    struct EdgeRef {
-        Node* peer;
-        std::size_t my_ifindex;
-        util::Ipv4Address peer_addr;
-    };
-    struct Attachment {
-        Node* node;
-        std::size_t ifindex;
-        util::Ipv4Address addr;
-    };
-    struct Subnet {
-        util::Ipv4Prefix prefix;
-        std::vector<Attachment> attached;
-    };
-
     util::Ipv4Prefix allocate_subnet();
+    util::Ipv4Prefix allocate_leaf_subnet();
     void check_shard(std::uint32_t shard) const;
     telemetry::GaugeSampler& sampler_for(std::uint32_t shard);
 
     sim::Simulator sim_;  ///< sequential mode's engine (idle when psim_ set)
     sim::ParallelSimulator* psim_ = nullptr;
     util::Rng rng_;
+    TopologyStore store_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Gateway>> gateways_;
     std::vector<Node*> node_ptrs_;
     std::vector<std::unique_ptr<link::PointToPointLink>> links_;
     std::vector<std::unique_ptr<link::BoundaryLink>> boundary_links_;
     std::vector<std::unique_ptr<link::Lan>> lans_;
-    std::vector<std::size_t> lan_next_host_;  ///< next address octet per LAN
-    std::map<std::size_t, util::Ipv4Prefix> lan_subnet_;
-    std::vector<std::uint32_t> lan_shard_;
-    std::map<Node*, std::vector<EdgeRef>> adjacency_;
-    std::map<const Node*, std::uint32_t> shard_of_;
-    std::vector<Subnet> subnets_;
-    std::uint32_t next_subnet_ = 1;
+    std::uint32_t next_subnet_ = 1;       ///< 10.x point-to-point / LAN space
+    std::uint32_t next_leaf_subnet_ = 0;  ///< 11.x leaf-LAN space
     telemetry::Registry registry_;
     std::unique_ptr<telemetry::FlightRecorder> recorder_;
-    std::map<std::uint32_t, std::unique_ptr<telemetry::GaugeSampler>> samplers_;
+    std::vector<std::unique_ptr<telemetry::GaugeSampler>> samplers_;  ///< by shard
     std::vector<std::uint32_t> link_shard_;  ///< shard per links_ entry
     sim::Time gauge_period_;                 ///< zero until sampling enabled
     bool link_gauges_registered_ = false;

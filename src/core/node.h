@@ -34,6 +34,13 @@ public:
     const std::string& name() const noexcept { return name_; }
     util::Ipv4Address address() const { return ip_.primary_address(); }
 
+    /// Dense index into the owning Internetwork's TopologyStore, assigned
+    /// at add_host/add_gateway time (construction order). The store's
+    /// parallel arrays — shard, kind, adjacency spans — are keyed by this,
+    /// so topology queries never hash or compare pointers.
+    std::uint32_t id() const noexcept { return id_; }
+    void set_id(std::uint32_t id) noexcept { id_ = id; }
+
     /// Crash / restore the whole node.
     virtual void set_down(bool down) { ip_.set_down(down); }
     bool is_down() const noexcept { return ip_.is_down(); }
@@ -42,6 +49,7 @@ protected:
     sim::Simulator& sim_;
     ip::IpStack ip_;
     std::string name_;
+    std::uint32_t id_ = 0;
 };
 
 /// An end system: IP + UDP + TCP (+ the ARQ baseline transport).

@@ -7,11 +7,21 @@
 // packet), and a generation counter — bumped on every mutation — lets
 // callers layer soft-state caches on top that can never serve a stale
 // route (see IpStack's destination cache).
+//
+// Storage is a flat pointer array kept sorted by (descending prefix
+// length, ascending prefix address): every operation — exact find,
+// install, remove, and each per-length probe of the longest-prefix match —
+// is a binary search, and a 33-bit occupancy mask skips empty lengths, so
+// lookup costs O(distinct-lengths × log n) instead of a linear scan.
+// Population-scale builds go through bulk_load(): one sort per batch
+// rather than one ordered insertion per route.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -103,8 +113,17 @@ class RoutingTable {
 public:
     /// Installs or replaces the route for exactly this prefix. A replaced
     /// route is updated in place: pointers previously returned for the
-    /// prefix stay valid and observe the new contents.
+    /// prefix stay valid and observe the new contents. Incremental: one
+    /// binary search plus one ordered insertion, never a re-sort.
     void install(const Route& route);
+
+    /// Batch install: same replace-or-insert semantics as install() per
+    /// entry (later duplicates in the batch win, matching sequential
+    /// installs), but new routes are appended and merged with ONE sort
+    /// pass. The topology generator's route-computation path — a hundred
+    /// thousand installs arrive as one batch per node. Bumps the
+    /// generation once for a non-empty batch.
+    void bulk_load(std::span<const Route> routes);
 
     /// Removes the route for exactly this prefix; returns whether found.
     bool remove(const util::Ipv4Prefix& prefix);
@@ -132,6 +151,12 @@ public:
 
 private:
     Route* acquire_node(const Route& route);
+    /// Iterator to the route with exactly this (length, address) key, or
+    /// ordered_.end() — one binary search.
+    std::vector<Route*>::iterator find_slot(const util::Ipv4Prefix& prefix);
+    std::vector<Route*>::const_iterator find_slot(const util::Ipv4Prefix& prefix) const;
+    void note_added(int length) noexcept;
+    void note_removed(int length) noexcept;
 
     /// Interned storage: a deque never moves elements, and removed nodes
     /// go to a free list rather than back to the allocator, so a Route*
@@ -139,8 +164,15 @@ private:
     /// installed or removed after it.
     std::deque<Route> arena_;
     std::vector<Route*> free_nodes_;
-    /// Sorted by descending prefix length so lookup is first-match.
+    /// Sorted by (descending prefix length, ascending prefix address):
+    /// binary-searchable, and still longest-prefix-first for first-match
+    /// iteration and the routes() snapshot.
     std::vector<Route*> ordered_;
+    /// Routes per prefix length, plus a 33-bit occupancy mask (bit = a
+    /// length with at least one route) so lookup() probes only lengths
+    /// that exist — typically 2–3 even in a population-scale FIB.
+    std::array<std::uint32_t, 33> len_count_{};
+    std::uint64_t len_mask_ = 0;
     std::uint64_t generation_ = 1;
 };
 

@@ -147,7 +147,8 @@ TEST(FlowTable, RecordsAndAggregates) {
     table.record(k, 100, sim::seconds(1));
     table.record(k, 200, sim::seconds(2));
     ASSERT_EQ(table.active_flows(), 1u);
-    const auto& rec = table.flows().begin()->second;
+    const auto snapshot = table.flows();
+    const auto& rec = snapshot.front().second;
     EXPECT_EQ(rec.packets, 2u);
     EXPECT_EQ(rec.bytes, 300u);
     EXPECT_EQ(rec.first_seen, sim::seconds(1));
@@ -194,7 +195,8 @@ TEST(GatewayAccounting, CountsForwardedTraffic) {
     }
     net.run_for(sim::seconds(1));
     ASSERT_EQ(flows.active_flows(), 1u);
-    const auto& rec = flows.flows().begin()->second;
+    const auto snapshot = flows.flows();
+    const auto& rec = snapshot.front().second;
     EXPECT_EQ(rec.packets, 10u);
     EXPECT_EQ(rec.bytes, 10u * 128u) << "100 payload + 8 UDP + 20 IP per packet";
 }

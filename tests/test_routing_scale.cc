@@ -5,6 +5,7 @@
 
 #include "core/internetwork.h"
 #include "ip/protocols.h"
+#include "ip/routing_table.h"
 #include "link/presets.h"
 
 namespace catenet::routing {
@@ -171,6 +172,134 @@ TEST(DvTriggered, BadNewsPropagatesFastOnlyWithTriggers) {
             EXPECT_GT(lost_at, 4.0) << "without triggers, the period dominates";
         }
     }
+}
+
+// --- RoutingTable structure at population scale ------------------------------
+//
+// The flat sorted-array FIB (binary-search install/find, 33-bit length
+// mask, bulk_load batch path) must behave exactly like the naive table it
+// replaced, at sizes where the difference matters.
+
+TEST(FibBulkLoad, MatchesSequentialInstalls) {
+    // The same 4096-route set loaded both ways must produce identical
+    // snapshots and identical lookups.
+    std::vector<ip::Route> batch;
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+        ip::Route r;
+        r.prefix = util::Ipv4Prefix(util::Ipv4Address(10, (i >> 8) & 0xff, i & 0xff, 0),
+                                    24);
+        r.next_hop = util::Ipv4Address(192, 168, 0, 1 + (i % 200));
+        r.ifindex = i % 4;
+        r.origin = "static";
+        batch.push_back(r);
+    }
+    ip::RoutingTable sequential;
+    for (const auto& r : batch) sequential.install(r);
+    ip::RoutingTable bulk;
+    bulk.bulk_load(batch);
+
+    ASSERT_EQ(sequential.size(), bulk.size());
+    const auto a = sequential.routes();
+    const auto b = bulk.routes();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].prefix, b[i].prefix);
+        EXPECT_EQ(a[i].next_hop, b[i].next_hop);
+        EXPECT_EQ(a[i].ifindex, b[i].ifindex);
+    }
+    for (std::uint32_t i = 0; i < 4096; i += 37) {
+        const util::Ipv4Address dst(10, (i >> 8) & 0xff, i & 0xff, 99);
+        const auto ra = sequential.lookup(dst);
+        const auto rb = bulk.lookup(dst);
+        ASSERT_TRUE(ra.has_value());
+        ASSERT_TRUE(rb.has_value());
+        EXPECT_EQ(ra->next_hop, rb->next_hop);
+    }
+}
+
+TEST(FibBulkLoad, LaterDuplicateWinsLikeSequentialInstall) {
+    ip::Route first;
+    first.prefix = util::Ipv4Prefix::parse("10.1.0.0/16");
+    first.next_hop = util::Ipv4Address(1, 1, 1, 1);
+    ip::Route second = first;
+    second.next_hop = util::Ipv4Address(2, 2, 2, 2);
+
+    ip::RoutingTable table;
+    table.bulk_load(std::vector<ip::Route>{first, second});
+    EXPECT_EQ(table.size(), 1u);
+    const auto found = table.find(first.prefix);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->next_hop, second.next_hop) << "batch order is install order";
+}
+
+TEST(FibBulkLoad, UpdatesExistingRoutesInPlace) {
+    // A pointer handed out before a bulk_load must stay valid and observe
+    // the batch's replacement — the generation-checked route cache relies
+    // on exactly this interning contract.
+    ip::RoutingTable table;
+    ip::Route seed;
+    seed.prefix = util::Ipv4Prefix::parse("10.5.0.0/16");
+    seed.next_hop = util::Ipv4Address(1, 1, 1, 1);
+    table.install(seed);
+    const auto before = table.find(seed.prefix);
+    ASSERT_TRUE(before.has_value());
+    const auto generation = table.generation();
+
+    ip::Route replacement = seed;
+    replacement.next_hop = util::Ipv4Address(9, 9, 9, 9);
+    ip::Route fresh;
+    fresh.prefix = util::Ipv4Prefix::parse("10.6.0.0/16");
+    fresh.next_hop = util::Ipv4Address(8, 8, 8, 8);
+    table.bulk_load(std::vector<ip::Route>{replacement, fresh});
+
+    EXPECT_EQ(before.get(), table.find(seed.prefix).get()) << "same interned node";
+    EXPECT_EQ(before->next_hop, replacement.next_hop) << "updated in place";
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.generation(), generation + 1) << "one bump per batch";
+}
+
+TEST(FibBinarySearch, LongestPrefixWinsAcrossLengths) {
+    ip::RoutingTable table;
+    const auto add = [&](const char* prefix, std::uint8_t octet) {
+        ip::Route r;
+        r.prefix = util::Ipv4Prefix::parse(prefix);
+        r.next_hop = util::Ipv4Address(octet, octet, octet, octet);
+        table.install(r);
+    };
+    add("0.0.0.0/0", 1);
+    add("10.0.0.0/8", 2);
+    add("10.20.0.0/16", 3);
+    add("10.20.30.0/24", 4);
+
+    EXPECT_EQ(table.lookup(util::Ipv4Address(10, 20, 30, 5))->next_hop.value(),
+              util::Ipv4Address(4, 4, 4, 4).value());
+    EXPECT_EQ(table.lookup(util::Ipv4Address(10, 20, 99, 5))->next_hop.value(),
+              util::Ipv4Address(3, 3, 3, 3).value());
+    EXPECT_EQ(table.lookup(util::Ipv4Address(10, 99, 99, 5))->next_hop.value(),
+              util::Ipv4Address(2, 2, 2, 2).value());
+    EXPECT_EQ(table.lookup(util::Ipv4Address(99, 99, 99, 5))->next_hop.value(),
+              util::Ipv4Address(1, 1, 1, 1).value());
+
+    // Removing the most specific falls back to the next length, and the
+    // occupancy mask must not strand the now-empty /24 bucket.
+    EXPECT_TRUE(table.remove(util::Ipv4Prefix::parse("10.20.30.0/24")));
+    EXPECT_EQ(table.lookup(util::Ipv4Address(10, 20, 30, 5))->next_hop.value(),
+              util::Ipv4Address(3, 3, 3, 3).value());
+    EXPECT_FALSE(table.remove(util::Ipv4Prefix::parse("10.20.30.0/24")));
+}
+
+TEST(FibBinarySearch, RemoveByOriginRebuildsCounts) {
+    ip::RoutingTable table;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        ip::Route r;
+        r.prefix = util::Ipv4Prefix(util::Ipv4Address(10, 0, i, 0), 24);
+        r.next_hop = util::Ipv4Address(1, 1, 1, 1);
+        r.origin = (i % 2 == 0) ? "dv" : "static";
+        table.install(r);
+    }
+    table.remove_by_origin("dv");
+    EXPECT_EQ(table.size(), 32u);
+    EXPECT_FALSE(table.lookup(util::Ipv4Address(10, 0, 2, 9)).has_value());
+    EXPECT_TRUE(table.lookup(util::Ipv4Address(10, 0, 3, 9)).has_value());
 }
 
 }  // namespace

@@ -142,6 +142,46 @@ run 1s
                  ScenarioError);
 }
 
+TEST(Scenario, GeneratedTwoTierRunsWorkloads) {
+    const auto report = run_scenario(R"(
+generate two_tier 4 4 3 full seed=5
+transfer h0_0 h2_1 64K
+run 30s
+)");
+    ASSERT_EQ(report.transfers.size(), 1u);
+    EXPECT_TRUE(report.transfers[0].completed);
+    EXPECT_GT(report.total_link_bytes, 64u * 1024u);
+}
+
+TEST(Scenario, GeneratedTwoTierIsDeterministic) {
+    const std::string text = R"(
+generate two_tier 4 4 3 full seed=5
+transfer h0_0 h2_1 64K
+run 30s
+)";
+    const auto a = run_scenario(text, 9);
+    const auto b = run_scenario(text, 9);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.total_link_bytes, b.total_link_bytes);
+}
+
+TEST(Scenario, GeneratedCompactHostsAreNotAddressable) {
+    // Compact leaves exist only in the arrays — referencing one by name is
+    // an error, not a silent miss.
+    EXPECT_THROW(run_scenario(R"(
+generate two_tier 4 4 3 compact
+transfer h0_0 h2_1 64K
+run 5s
+)"),
+                 ScenarioError);
+}
+
+TEST(Scenario, GenerateRejectsBadArguments) {
+    EXPECT_THROW(run_scenario("generate two_tier x y z\nrun 1s\n"), ScenarioError);
+    EXPECT_THROW(run_scenario("generate two_tier 4 4 3 turbo\nrun 1s\n"),
+                 ScenarioError);
+}
+
 TEST(Scenario, ErrorsCarryLineNumbers) {
     try {
         run_scenario("host a\nbogus directive\n");

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -181,6 +182,14 @@ void BM_ForwardBurst(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardBurst)->Arg(1)->Arg(32);
 
+// Segmentation offload (GSO/GRO, DESIGN.md §12) is on by default, exactly
+// as real traffic runs it. CATENET_NO_OFFLOAD=1 forces the per-segment
+// pipeline so bench/gate_offload.sh can A/B the two modes from one binary.
+bool offload_enabled() {
+    static const bool on = std::getenv("CATENET_NO_OFFLOAD") == nullptr;
+    return on;
+}
+
 // Builds an a — (links-1 gateways) — b chain and returns it ready to run.
 struct TcpPath {
     explicit TcpPath(int links) : net(1988) {
@@ -210,6 +219,7 @@ void BM_TcpGoodput(benchmark::State& state) {
     std::uint64_t received = 0;
     tcp::TcpConfig cfg;
     cfg.mss_cap = mss;
+    cfg.segmentation_offload = offload_enabled();
     path.b->tcp().listen(
         80,
         [&received](std::shared_ptr<tcp::TcpSocket> s) {
@@ -262,15 +272,89 @@ BENCHMARK(BM_TcpGoodput)
     ->Args({4, 536})
     ->Args({4, 1460});
 
+// N concurrent bulk connections interleaved through one shared gateway:
+// the regime where receive runs are short and keep switching connections,
+// so the GRO run pin earns (or loses) its keep. Aggregate goodput over
+// all connections is the reported byte rate.
+void BM_TcpManyConns(benchmark::State& state) {
+    const int conns = static_cast<int>(state.range(0));
+    TcpPath path(2);  // a — g0 — b: every connection shares the middle hop
+
+    std::uint64_t received = 0;
+    tcp::TcpConfig cfg;
+    cfg.segmentation_offload = offload_enabled();
+    path.b->tcp().listen(
+        80,
+        [&received](std::shared_ptr<tcp::TcpSocket> s) {
+            s->on_data = [&received](std::span<const std::uint8_t> d) {
+                received += d.size();
+            };
+        },
+        cfg);
+
+    struct Conn {
+        std::shared_ptr<tcp::TcpSocket> socket;
+        std::uint64_t queued = 0;
+        std::uint64_t goal = 0;
+    };
+    std::vector<Conn> c(static_cast<std::size_t>(conns));
+    const std::vector<std::uint8_t> block(16 * 1024, 0x5a);
+    for (auto& conn : c) {
+        conn.socket = path.a->tcp().connect(path.b->address(), 80, cfg);
+        Conn* cp = &conn;  // stable: the vector never grows after this loop
+        conn.socket->on_send_space = [cp, &block] {
+            while (cp->queued < cp->goal) {
+                const std::size_t want = std::min<std::uint64_t>(
+                    block.size(), cp->goal - cp->queued);
+                const auto accepted = cp->socket->send(
+                    std::span<const std::uint8_t>(block.data(), want));
+                cp->queued += accepted;
+                if (accepted < want) break;
+            }
+        };
+    }
+    path.net.sim().run();
+    for (const auto& conn : c) {
+        if (!conn.socket->connected()) {
+            state.SkipWithError("TCP handshake did not complete");
+            return;
+        }
+    }
+
+    constexpr std::uint64_t kChunkPerConn = 32 * 1024;
+    std::uint64_t goal_total = 0;
+    for (auto _ : state) {
+        for (auto& conn : c) {
+            conn.goal += kChunkPerConn;
+            conn.socket->on_send_space();
+        }
+        goal_total += kChunkPerConn * static_cast<std::uint64_t>(conns);
+        path.net.sim().run();
+        if (received != goal_total) {
+            state.SkipWithError("bytes lost in bulk transfer");
+            return;
+        }
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(goal_total));
+    state.counters["conns"] = static_cast<double>(conns);
+    export_network_counters(state, path.net);
+}
+BENCHMARK(BM_TcpManyConns)->Arg(8)->Arg(64);
+
 void BM_TcpConnChurn(benchmark::State& state) {
     TcpPath path(1);
-    path.b->tcp().listen(80, [](std::shared_ptr<tcp::TcpSocket> s) {
-        // Raw capture: a strong self-capture would cycle and leak.
-        s->on_remote_close = [raw = s.get()] { raw->close(); };
-    });
+    tcp::TcpConfig cfg;
+    cfg.segmentation_offload = offload_enabled();
+    path.b->tcp().listen(
+        80,
+        [](std::shared_ptr<tcp::TcpSocket> s) {
+            // Raw capture: a strong self-capture would cycle and leak.
+            s->on_remote_close = [raw = s.get()] { raw->close(); };
+        },
+        cfg);
     for (auto _ : state) {
         bool closed = false;
-        auto client = path.a->tcp().connect(path.b->address(), 80);
+        auto client = path.a->tcp().connect(path.b->address(), 80, cfg);
         client->on_connected = [&client] { client->close(); };
         client->on_closed = [&closed] { closed = true; };
         path.net.sim().run();  // handshake, FIN exchange, 2MSL TIME-WAIT

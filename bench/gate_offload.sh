@@ -1,0 +1,109 @@
+#!/bin/sh
+# Segmentation-offload perf gate (DESIGN.md §12), run from ONE binary:
+# CATENET_NO_OFFLOAD=1 forces the per-segment pipeline, so the two sides
+# share code placement and the comparison measures exactly the offload
+# machinery. Runs strictly interleaved (off, on, off, on, ...) to cancel
+# box-load drift and takes the best of N rounds per side, the
+# ab_compare.sh methodology.
+#
+# Gates (override via MIN_SPEEDUP / MAX_REGRESSION):
+#   BM_TcpGoodput/1/1460   offload must be >= 1.5x faster than off
+#   BM_TcpGoodput/1/536,
+#   BM_TcpConnChurn        offload must stay within +3% of off
+#
+# Statistic: median of the per-round pairwise deltas (round i's off run
+# vs round i's on run, adjacent in time) — robust to the sustained
+# frequency/steal drift a shared box shows across a multi-minute run,
+# which best-of-N cannot cancel. BM_ForwardPps is deliberately NOT here:
+# CATENET_NO_OFFLOAD does not reach the forwarding path, so on/off runs
+# identical code and can only measure box noise; its non-regression gate
+# is ab_compare.sh against a pre-change worktree (see CHANGES.md PR 8).
+#
+#   BIN=<path to bench_engine>   [./build/bench/bench_engine]
+#   ROUNDS=5 MIN_TIME=0.2 OUT=<dir> to override the usual knobs.
+set -eu
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+BIN=${BIN:-$SRC/build/bench/bench_engine}
+ROUNDS=${ROUNDS:-5}
+MIN_TIME=${MIN_TIME:-0.2}
+OUT=${OUT:-$(dirname "$BIN")/gate_offload}
+FILTER='BM_TcpGoodput/1/|BM_TcpConnChurn'
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.5}
+MAX_REGRESSION=${MAX_REGRESSION:-3}
+
+[ -x "$BIN" ] || { echo "gate_offload: $BIN not built" >&2; exit 2; }
+echo "== offload gate: BM_TcpGoodput/1/1460 >= ${MIN_SPEEDUP}x, others <= +${MAX_REGRESSION}% (best of $ROUNDS) =="
+
+mkdir -p "$OUT"
+i=1
+while [ "$i" -le "$ROUNDS" ]; do
+    for side in off on; do
+        if [ "$side" = off ]; then
+            CATENET_NO_OFFLOAD=1 "$BIN" \
+                --benchmark_filter="$FILTER" \
+                --benchmark_min_time="$MIN_TIME" \
+                --benchmark_out="$OUT/${side}_${i}.json" \
+                --benchmark_out_format=json >/dev/null
+        else
+            "$BIN" \
+                --benchmark_filter="$FILTER" \
+                --benchmark_min_time="$MIN_TIME" \
+                --benchmark_out="$OUT/${side}_${i}.json" \
+                --benchmark_out_format=json >/dev/null
+        fi
+    done
+    echo "round $i/$ROUNDS done"
+    i=$((i + 1))
+done
+
+python3 - "$OUT" "$ROUNDS" "$MIN_SPEEDUP" "$MAX_REGRESSION" <<'EOF'
+import json, statistics, sys
+
+out, rounds = sys.argv[1], int(sys.argv[2])
+min_speedup, max_regression = float(sys.argv[3]), float(sys.argv[4])
+SPEEDUP_BENCH = "BM_TcpGoodput/1/1460"
+
+def times(side):
+    per = {}
+    for i in range(1, rounds + 1):
+        with open(f"{out}/{side}_{i}.json") as f:
+            data = json.load(f)
+            if i == 1 and side == "off":
+                bt = data.get("context", {}).get("library_build_type")
+                if bt == "debug":
+                    print("WARNING: Google Benchmark library is a DEBUG build; "
+                          "timings are noisier than Release (CHANGES.md "
+                          "methodology note)", file=sys.stderr)
+            for b in data["benchmarks"]:
+                per.setdefault(b["name"], []).append(b["cpu_time"])
+    return per
+
+off, on = times("off"), times("on")
+if not off:
+    sys.exit("offload gate FAILED: filter matched no benchmarks")
+failed = False
+print(f"{'benchmark':<28} {'off (median)':>12} {'on (median)':>12} {'effect':>10}")
+for name in sorted(off):
+    # Median of per-round pairwise ratios: round i's two runs sat next to
+    # each other in time, so sustained box drift divides out of each pair.
+    ratios = [a / b for a, b in zip(off[name], on[name])]
+    ratio = statistics.median(ratios)
+    moff = statistics.median(off[name])
+    mon = statistics.median(on[name])
+    flag = ""
+    if name == SPEEDUP_BENCH:
+        if ratio < min_speedup:
+            failed = True
+            flag = f"  BELOW {min_speedup:.2f}x"
+        print(f"{name:<28} {moff:>10.1f}ns {mon:>10.1f}ns {ratio:>9.2f}x{flag}")
+    else:
+        pct = (1.0 / ratio - 1.0) * 100.0
+        if pct > max_regression:
+            failed = True
+            flag = f"  EXCEEDS {max_regression:.0f}%"
+        print(f"{name:<28} {moff:>10.1f}ns {mon:>10.1f}ns {pct:>+9.2f}%{flag}")
+if failed:
+    sys.exit("offload gate FAILED")
+print("offload gate OK")
+EOF

@@ -10,6 +10,15 @@ namespace catenet::ip {
 
 namespace {
 const util::Logger kLog("ip");
+
+inline std::uint16_t load_u16(const std::uint8_t* p) noexcept {
+    return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+inline std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+    return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+           (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
 }  // namespace
 
 IpStack::IpStack(sim::Simulator& sim, std::string name)
@@ -190,7 +199,88 @@ bool IpStack::send_with_headroom(std::uint8_t protocol, util::Ipv4Address dst,
     write_ipv4_header(wire, header, wire.size());
     const util::Ipv4Address next_hop =
         route->next_hop.is_unspecified() ? dst : route->next_hop;
-    iface.netif->send(link::make_packet(std::move(wire), sim_), next_hop);
+    link::Packet packet = link::make_packet(std::move(wire), sim_);
+    // Both checksums are known good here: the caller vouched for the
+    // transport fold and write_ipv4_header just computed the header's.
+    packet.csum_ok = options.csum_ok;
+    iface.netif->send(std::move(packet), next_hop);
+    return true;
+}
+
+const Route* IpStack::peek_route(util::Ipv4Address dst) {
+    static_assert((kRouteCacheSlots & (kRouteCacheSlots - 1)) == 0);
+    const std::size_t index =
+        (dst.value() * 2654435761u) >> (32 - std::bit_width(kRouteCacheSlots - 1));
+    const RouteCacheEntry& slot = route_cache_[index];
+    if (slot.generation == routes_.generation() && slot.dst == dst) {
+        return slot.route;
+    }
+    return routes_.lookup(dst).get();
+}
+
+bool IpStack::gso_viable(util::Ipv4Address dst, std::size_t wire_segment_bytes) {
+    if (down_ || is_local_address(dst)) return false;
+    const Route* route = peek_route(dst);
+    if (route == nullptr) return false;
+    const Interface& iface = interfaces_[route->ifindex];
+    return iface.netif->is_up() && wire_segment_bytes <= iface.mtu;
+}
+
+bool IpStack::send_gso(std::uint8_t protocol, util::Ipv4Address dst,
+                       link::GsoDescriptor& d, const SendOptions& options) {
+    // Uncounted recheck of everything gso_viable promised: a false return
+    // must leave no counter trace, so the caller's per-segment fallback
+    // reproduces the failure accounting exactly.
+    if (down_ || is_local_address(dst)) return false;
+    {
+        const Route* r = peek_route(dst);
+        if (r == nullptr) return false;
+        const Interface& ifc = interfaces_[r->ifindex];
+        if (!ifc.netif->is_up() || d.proto.size() + d.seg_payload > ifc.mtu) {
+            return false;
+        }
+    }
+    const std::size_t n = d.seg_count;
+    // One counted probe stands for the train's first segment; the per-
+    // segment path's remaining n-1 probes would all hit the line the first
+    // one ensured, so they batch as hits.
+    const Route* route = lookup_route(dst);
+    Interface& iface = interfaces_[route->ifindex];
+
+    Ipv4Header header;
+    header.protocol = protocol;
+    header.tos = options.tos;
+    header.ttl = options.ttl;
+    header.dont_fragment = options.dont_fragment;
+    header.identification = next_identification_;
+    next_identification_ = static_cast<std::uint16_t>(next_identification_ + n);
+    header.src = options.source.is_unspecified() ? iface.address : options.source;
+    header.dst = dst;
+    // First wire segment's IP header becomes the template's IP half; the
+    // split advances identification/total_length per segment from it.
+    write_ipv4_header({d.proto.data(), kIpv4HeaderSize}, header,
+                      d.proto.size() + d.seg_payload);
+
+    counters_.add(telemetry::Counter::IpTx, n);
+    counters_.add(telemetry::Counter::IpRouteCacheHit, n - 1);
+    if (trace_ || recorder_ != nullptr) {
+        // Per-segment Tx notes, field-for-field what n send_with_headroom
+        // calls would note (identification advances; total_length stays
+        // defaulted there too, the wire size carries the byte count).
+        Ipv4Header h = header;
+        const std::size_t overhead = d.proto.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t off = i * d.seg_payload;
+            const std::size_t len =
+                (i + 1 == n) ? d.payload_size() - off : d.seg_payload;
+            h.identification = static_cast<std::uint16_t>(header.identification + i);
+            note(telemetry::PacketEvent::Tx, h, overhead + len);
+        }
+    }
+    d.sim = &sim_;
+    const util::Ipv4Address next_hop =
+        route->next_hop.is_unspecified() ? dst : route->next_hop;
+    iface.netif->send_gso(d, next_hop);
     return true;
 }
 
@@ -300,7 +390,9 @@ void IpStack::receive(std::size_t ifindex, link::Packet packet) {
     DecodedDatagram d;
     bool checksum_ok = false;
     try {
-        checksum_ok = decode_datagram(packet.bytes, d);
+        // csum_ok packets skip the header fold (it would provably pass:
+        // the encoder computed it and no hop corrupted the bytes).
+        checksum_ok = decode_datagram(packet.bytes, d, !packet.csum_ok);
     } catch (const util::DecodeError&) {
         // Same drop event as every other discard; the header carries
         // whatever fields decoded before the failure (best effort, exactly
@@ -334,7 +426,12 @@ void IpStack::process_datagram(const DecodedDatagram& d, link::Packet& packet,
             auto completed = reassembler_.add_fragment(d.header, payload);
             if (completed) deliver_local(d.header, *completed, ifindex);
         } else {
+            // Ambient checksum-offload vouch for the transport being
+            // dispatched (fragments never qualify: reassembly rewrote the
+            // bytes the encoder checksummed over).
+            rx_csum_ok_ = packet.csum_ok;
             deliver_local(d.header, payload, ifindex);
+            rx_csum_ok_ = false;
         }
         return;
     }
@@ -358,12 +455,39 @@ std::size_t IpStack::receive_burst(std::size_t ifindex, link::PacketBurst& burst
     // packets — cannot be distinguished from per-packet decode.
     std::array<DecodedDatagram, link::kBurst> d;
     std::array<DecodeStatus, link::kBurst> status;
+    std::array<bool, link::kBurst> lane;
+    // With no tracer or recorder attached, the only header fields a
+    // checksum-vouched run-protocol datagram feeds downstream are src,
+    // dst, protocol and total length — every other field exists to feed
+    // note(), which both observers being absent makes a no-op. Such
+    // packets are classified here with four loads (fixed 20-byte header,
+    // run protocol, not a fragment, total length == wire length) and even
+    // the minimal unpack is deferred to the commit pass (DESIGN.md §12).
+    // Observers can only attach from an event, events only run on a bail,
+    // and a bail abandons the rest of the burst — so the choice made here
+    // cannot go stale before pass 2 reads it.
+    const bool quick_lane_ok =
+        run_handler_ != nullptr && !trace_ && recorder_ == nullptr;
     for (std::size_t i = 0; i < n; ++i) {
         if (i + 1 < n) {
             const auto& next_bytes = burst.items[i + 1].packet->bytes;
             if (!next_bytes.empty()) __builtin_prefetch(next_bytes.data());
         }
-        status[i] = decode_datagram_status(burst.items[i].packet->bytes, d[i]);
+        const auto& bytes = burst.items[i].packet->bytes;
+        if (quick_lane_ok && burst.items[i].packet->csum_ok &&
+            bytes.size() >= kIpv4HeaderSize) {
+            const std::uint8_t* p = bytes.data();
+            if (p[0] == 0x45 && p[9] == run_protocol_ &&
+                (load_u16(p + 6) & 0x3fffu) == 0 &&
+                load_u16(p + 2) == bytes.size()) {
+                lane[i] = true;
+                status[i] = DecodeStatus::Ok;
+                continue;
+            }
+        }
+        lane[i] = false;
+        status[i] = decode_datagram_status(bytes, d[i],
+                                           !burst.items[i].packet->csum_ok);
     }
 
     // Pass 2 — commit, one packet at a time at its own arrival instant.
@@ -376,6 +500,7 @@ std::size_t IpStack::receive_burst(std::size_t ifindex, link::PacketBurst& burst
     // before returning — i.e. before whichever event caused a bail runs.
     RouteMemo memo;
     ForwardLocals locals;
+    bool in_run = false;  // a GRO run is open in the run handler
     std::size_t i = 0;
     for (; i < n; ++i) {
         if (i > 0 && !sim_.advance_if_idle(burst.items[i].arrival)) break;
@@ -385,7 +510,41 @@ std::size_t IpStack::receive_burst(std::size_t ifindex, link::PacketBurst& burst
             continue;
         }
         ++locals.rx;
+        if (lane[i]) {
+            // Quick-classified in pass 1: unpack exactly the four fields
+            // the run handler and its decline path read, skip the rest of
+            // the decode. Counter effects match the full lane below; the
+            // Rx/Deliver notes it would emit are no-ops by construction
+            // (pass 1 required both observers absent).
+            const std::uint8_t* p = packet.bytes.data();
+            const util::Ipv4Address dst(load_u32(p + 16));
+            if (is_local_address(dst)) {
+                Ipv4Header& h = d[i].header;
+                h.src = util::Ipv4Address(load_u32(p + 12));
+                h.dst = dst;
+                h.protocol = run_protocol_;
+                h.total_length = static_cast<std::uint16_t>(packet.bytes.size());
+                const auto payload =
+                    std::span<const std::uint8_t>(packet.bytes).subspan(kIpv4HeaderSize);
+                counters_.inc(telemetry::Counter::IpDeliver);
+                if (run_handler_->on_run_segment(h, payload, ifindex)) {
+                    in_run = true;
+                } else {
+                    if (in_run) { run_handler_->end_run(); in_run = false; }
+                    rx_csum_ok_ = true;
+                    run_handler_->on_datagram(h, payload, ifindex);
+                    rx_csum_ok_ = false;
+                }
+                recycle_wire(packet);
+                continue;
+            }
+            // Transit traffic at a forwarding node: fall back to the full
+            // decode and take the ordinary dispatch below (status is Ok by
+            // the pass-1 screen; the vouch skips the checksum verify).
+            status[i] = decode_datagram_status(packet.bytes, d[i], false);
+        }
         if (status[i] == DecodeStatus::Malformed) {
+            if (in_run) { run_handler_->end_run(); in_run = false; }
             counters_.inc(telemetry::Counter::IpDropMalformed);
             note(telemetry::PacketEvent::Drop, d[i].header, packet.size(),
                  telemetry::DropReason::Malformed);
@@ -393,15 +552,46 @@ std::size_t IpStack::receive_burst(std::size_t ifindex, link::PacketBurst& burst
             continue;
         }
         if (status[i] == DecodeStatus::BadChecksum) {
+            if (in_run) { run_handler_->end_run(); in_run = false; }
             counters_.inc(telemetry::Counter::IpDropChecksum);
             note(telemetry::PacketEvent::Drop, d[i].header, packet.size(),
                  telemetry::DropReason::Checksum);
             recycle_wire(packet);
             continue;
         }
+        // GRO lane (DESIGN.md §12): a checksum-vouched, non-fragment
+        // datagram of the run protocol addressed to this host is offered
+        // straight to the run handler — same Rx/Deliver notes and counts
+        // as process_datagram → deliver_local would have produced, then
+        // one handler call instead of the map probe + full dispatch.
+        if (run_handler_ != nullptr && packet.csum_ok &&
+            d[i].header.protocol == run_protocol_ && !d[i].header.is_fragment() &&
+            is_local_address(d[i].header.dst)) {
+            const Ipv4Header& h = d[i].header;
+            const auto payload = payload_of(packet.bytes, d[i]);
+            note(telemetry::PacketEvent::Rx, h, packet.size());
+            counters_.inc(telemetry::Counter::IpDeliver);
+            note(telemetry::PacketEvent::Deliver, h,
+                 kIpv4HeaderSize + payload.size());
+            if (run_handler_->on_run_segment(h, payload, ifindex)) {
+                in_run = true;
+            } else {
+                // Declined (odd flags, out of order, …): close the run at
+                // this boundary and hand the segment to the ordinary
+                // per-datagram entry, checksum vouch still in effect.
+                if (in_run) { run_handler_->end_run(); in_run = false; }
+                rx_csum_ok_ = true;
+                run_handler_->on_datagram(h, payload, ifindex);
+                rx_csum_ok_ = false;
+            }
+            recycle_wire(packet);
+            continue;
+        }
+        if (in_run) { run_handler_->end_run(); in_run = false; }
         process_datagram(d[i], packet, ifindex, &memo, &locals);
         recycle_wire(packet);  // no-op when forwarding moved the buffer on
     }
+    if (in_run) run_handler_->end_run();
     counters_.add(telemetry::Counter::IpRx, locals.rx);
     counters_.add(telemetry::Counter::IpFwd, locals.fwd);
     counters_.add(telemetry::Counter::IpRouteCacheHit, locals.cache_hits);
@@ -518,7 +708,11 @@ void IpStack::forward(const DecodedDatagram& d, link::Packet& packet,
     out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
 
     // Slow path (IP options, link padding, or fragmentation ahead): decode
-    // and re-serialize exactly as the seed did.
+    // and re-serialize exactly as the seed did. Re-serializing copies the
+    // transport bytes into fresh unvouched datagrams (a fragment's payload
+    // carries the TCP checksum field verbatim), so a deferred checksum
+    // must be settled here — this is a byte observer.
+    if (packet.csum_deferred) link::materialize_checksum(packet);
     const auto payload = payload_of(wire, d);
     if (transmit(out, payload, *route)) {
         if (locals != nullptr) {

@@ -52,6 +52,11 @@ struct SendOptions {
     bool dont_fragment = false;
     /// Unspecified = pick the outgoing interface's address.
     util::Ipv4Address source;
+    /// Checksum-offload mark (DESIGN.md §12): the caller vouches that the
+    /// transport checksum in the payload was just computed and is correct,
+    /// so the non-fragmenting fast path stamps link::Packet::csum_ok and
+    /// receivers may skip re-verification. Ignored on the copying paths.
+    bool csum_ok = false;
 };
 
 class IpStack {
@@ -97,6 +102,46 @@ public:
 
     void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
 
+    /// Receive-side run coalescing hook (GRO, DESIGN.md §12). A transport
+    /// that implements this is offered checksum-vouched, non-fragment,
+    /// locally-addressed datagrams of its protocol straight from the burst
+    /// commit pass, one run segment at a time. The handler processes each
+    /// accepted segment immediately and completely (data delivery, ACK
+    /// clock), so accepting is behaviourally identical to the per-datagram
+    /// path — the run only amortizes demux and header prediction.
+    class TransportRunHandler {
+    public:
+        virtual ~TransportRunHandler() = default;
+        /// Offers one segment. Return true when it was consumed into the
+        /// current run; false to decline, in which case the stack ends any
+        /// open run and dispatches the segment via on_datagram() — the
+        /// handler must not have counted or mutated anything for it.
+        virtual bool on_run_segment(const Ipv4Header& header,
+                                    std::span<const std::uint8_t> payload,
+                                    std::size_t ifindex) = 0;
+        /// The ordinary per-datagram entry, identical to the handler the
+        /// transport registered with register_protocol(). The decline path
+        /// dispatches here directly (no protocol-map probe).
+        virtual void on_datagram(const Ipv4Header& header,
+                                 std::span<const std::uint8_t> payload,
+                                 std::size_t ifindex) = 0;
+        /// Closes the current run: the burst ended, bailed, or a foreign
+        /// packet split it. Only called after at least one accepted segment.
+        virtual void end_run() = 0;
+    };
+
+    /// Registers the run handler for `protocol` (one per stack; the
+    /// transport must also register_protocol() the per-datagram handler).
+    void register_protocol_run(std::uint8_t protocol, TransportRunHandler* handler) {
+        run_protocol_ = protocol;
+        run_handler_ = handler;
+    }
+
+    /// True while the currently-dispatched inbound datagram carried the
+    /// link-layer csum_ok vouch (and is not a fragment): the transport may
+    /// skip its own checksum fold, which would provably pass.
+    bool rx_csum_ok() const noexcept { return rx_csum_ok_; }
+
     /// Adds an inbound ICMP-error observer (multiple allowed: transports
     /// and diagnostics both listen).
     void add_icmp_error_handler(IcmpErrorHandler handler) {
@@ -131,6 +176,26 @@ public:
     /// send().
     bool send_with_headroom(std::uint8_t protocol, util::Ipv4Address dst,
                             util::ByteBuffer&& wire, const SendOptions& options = {});
+
+    /// Advisory GSO viability probe (DESIGN.md §12): true when a unicast
+    /// train of `wire_segment_bytes`-sized datagrams to `dst` would take
+    /// send_with_headroom's non-fragmenting fast path right now. Entirely
+    /// read-only — no counters move, no cache line refills — so a transport
+    /// may probe before building a mega-segment and fall back to the
+    /// per-segment loop with exact counter parity when the answer is no.
+    bool gso_viable(util::Ipv4Address dst, std::size_t wire_segment_bytes);
+
+    /// Sends one mega-segment descriptor as `d.seg_count` wire datagrams
+    /// (the egress link performs the late split). The caller filled the
+    /// transport half of d.proto; this writes the IPv4 half (first
+    /// segment's identification; the split advances it per segment),
+    /// reserves seg_count consecutive IP ids, and accounts exactly what
+    /// seg_count send_with_headroom fast-path calls would have: IpTx per
+    /// segment, one counted route probe plus seg_count-1 cache hits, one Tx
+    /// trace/record note per segment. Returns false — having counted
+    /// nothing — when the fast path is not viable; the caller falls back.
+    bool send_gso(std::uint8_t protocol, util::Ipv4Address dst,
+                  link::GsoDescriptor& d, const SendOptions& options = {});
 
     /// Sends a payload as a link-local broadcast (dst 255.255.255.255)
     /// directly out one interface. Broadcasts are delivered to every node
@@ -278,6 +343,12 @@ private:
     /// per-packet lookups in send() and forward().
     const Route* lookup_route(util::Ipv4Address dst);
 
+    /// Uncounted route peek for viability probes: reads the cache line but
+    /// never refills it and scores no hit/miss — the eventual counted
+    /// lookup_route reproduces exactly the probe sequence the per-segment
+    /// path would have made.
+    const Route* peek_route(util::Ipv4Address dst);
+
     /// The cache probe itself, with the hit/miss outcome reported to the
     /// caller instead of counted — the burst path batches the counts.
     const Route* probe_route_cache(util::Ipv4Address dst, bool& hit);
@@ -322,6 +393,9 @@ private:
     std::array<RouteCacheEntry, kRouteCacheSlots> route_cache_{};
     Reassembler reassembler_;
     std::unordered_map<std::uint8_t, ProtocolHandler> protocols_;
+    TransportRunHandler* run_handler_ = nullptr;  ///< GRO hook (one per stack)
+    std::uint8_t run_protocol_ = 0;
+    bool rx_csum_ok_ = false;  ///< ambient flag: current inbound datagram is vouched
     std::vector<IcmpErrorHandler> icmp_error_handlers_;
     ForwardTap forward_tap_;
     TraceHook trace_;

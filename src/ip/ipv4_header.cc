@@ -79,6 +79,11 @@ util::ByteBuffer encode_datagram(const Ipv4Header& header,
 }
 
 bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out) {
+    return decode_datagram(wire, out, true);
+}
+
+bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out,
+                     bool verify_checksum) {
     // Hot path of every gateway hop: the fixed header is read with direct
     // loads (all offsets proven in range by the IHL check) instead of a
     // bounds-checked cursor. Validation order and outcomes match the
@@ -119,7 +124,7 @@ bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out) {
     out.payload_offset = header_len;
     out.payload_length = h.total_length - header_len;
 
-    return util::checksum_valid(wire.subspan(0, header_len));
+    return !verify_checksum || util::checksum_valid(wire.subspan(0, header_len));
 }
 
 void decrement_ttl(std::span<std::uint8_t> wire) {

@@ -80,6 +80,14 @@ struct DecodedDatagram {
 /// checksum fails — the usual "corrupted in flight" case callers count.
 bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out);
 
+/// Checksum-offload variant: `verify_checksum = false` skips the header
+/// checksum fold, for packets whose link::Packet::csum_ok flag vouches
+/// that the encoder-computed checksum is untouched (behaviourally
+/// identical — the flag implies the fold would pass). Structural
+/// validation is unchanged.
+bool decode_datagram(std::span<const std::uint8_t> wire, DecodedDatagram& out,
+                     bool verify_checksum);
+
 /// Payload view into a wire buffer previously decoded.
 inline std::span<const std::uint8_t> payload_of(std::span<const std::uint8_t> wire,
                                                 const DecodedDatagram& d) {
@@ -100,6 +108,19 @@ inline DecodeStatus decode_datagram_status(std::span<const std::uint8_t> wire,
                                            DecodedDatagram& out) {
     try {
         return decode_datagram(wire, out) ? DecodeStatus::Ok : DecodeStatus::BadChecksum;
+    } catch (const util::DecodeError&) {
+        return DecodeStatus::Malformed;
+    }
+}
+
+/// Batch decode honouring checksum offload (see the three-argument
+/// decode_datagram): pass `verify_checksum = false` for csum_ok packets.
+inline DecodeStatus decode_datagram_status(std::span<const std::uint8_t> wire,
+                                           DecodedDatagram& out,
+                                           bool verify_checksum) {
+    try {
+        return decode_datagram(wire, out, verify_checksum) ? DecodeStatus::Ok
+                                                           : DecodeStatus::BadChecksum;
     } catch (const util::DecodeError&) {
         return DecodeStatus::Malformed;
     }

@@ -75,6 +75,8 @@ public:
         f.uid = packet.uid;
         f.created_ns = packet.created.nanos();
         f.send_ns = send_ns;
+        f.csum_ok = packet.csum_ok;
+        f.csum_deferred = packet.csum_deferred;
         f.bytes = std::move(packet.bytes);
         if (pending_head_ == pending_.size() && ring_.push(f)) {
             src_pool_.recycle(std::move(f.bytes));
@@ -153,6 +155,8 @@ private:
         std::uint64_t uid = 0;
         std::int64_t created_ns = 0;
         std::int64_t send_ns = 0;
+        bool csum_ok = false;  ///< Packet::csum_ok, carried across the boundary
+        bool csum_deferred = false;  ///< Packet::csum_deferred, ditto
         util::ByteBuffer bytes;
     };
     // Min-heap order for std::push_heap/pop_heap (which build max-heaps):
@@ -390,6 +394,12 @@ private:
         const double p_hit = 1.0 - std::pow(1.0 - params_.bit_error_rate, bits);
         if (!rng_.chance(p_hit)) return;
         out_.count_corruption();
+        // Settle a deferred checksum before mangling the bytes (the far
+        // side's verification fold must see the same wire an eager encode
+        // would have produced, minus the flipped bits).
+        if (packet.csum_deferred) materialize_checksum(packet);
+        // Flipped bits invalidate any encoder-computed checksum.
+        packet.csum_ok = false;
         const auto flips = rng_.uniform(1, 3);
         for (std::uint64_t i = 0; i < flips; ++i) {
             const auto bit = rng_.uniform(0, packet.size() * 8 - 1);
@@ -422,6 +432,8 @@ void BoundaryLink::Channel::deliver_head() {
     p.uid = f.uid;
     p.created = sim::Time(f.created_ns);
     p.enqueued = sim::Time(f.send_ns);
+    p.csum_ok = f.csum_ok;
+    p.csum_deferred = f.csum_deferred;
     dst_port_->receive_from_boundary(std::move(p));
 }
 

@@ -57,6 +57,15 @@ public:
     /// downstream and the caller will never know — by design.
     virtual void send(Packet packet, util::Ipv4Address next_hop) = 0;
 
+    /// GSO hand-off (DESIGN.md §12): one mega-segment descriptor covering a
+    /// whole train of wire segments. The default implementation makes every
+    /// network GSO-capable by performing the late split here — one
+    /// gso_split_segment() per wire segment, each fed to send() in order,
+    /// which is definitionally identical to the per-segment path. Links may
+    /// override to splice the split into their own admission machinery, but
+    /// only under the same wire-identity contract.
+    virtual void send_gso(const GsoDescriptor& d, util::Ipv4Address next_hop);
+
     virtual const std::string& name() const noexcept = 0;
 
     /// Installing a plain receiver (tests tap interfaces this way) clears
@@ -101,6 +110,25 @@ public:
     using DropObserver = std::function<void(const Packet&)>;
     void set_drop_observer(DropObserver observer) { drop_observer_ = std::move(observer); }
 
+    /// Passive wire tap for equivalence tests: observes (digest, size) of
+    /// every packet this interface delivers up its stack, in delivery
+    /// order, WITHOUT disabling burst delivery (unlike set_receiver, which
+    /// must force the per-packet path). The digest is FNV-1a over the wire
+    /// bytes, so two runs whose digest streams match delivered
+    /// byte-identical wire streams in the same order.
+    using WireTap = std::function<void(std::uint64_t digest, std::uint32_t size)>;
+    void set_wire_tap(WireTap tap) { wire_tap_ = std::move(tap); }
+
+    /// FNV-1a over a byte range (the wire tap's digest function).
+    static std::uint64_t wire_digest(std::span<const std::uint8_t> bytes) noexcept {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const std::uint8_t b : bytes) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
     /// Virtual so transmitters with deferred accounting (the burst
     /// in-flight ring) can settle up to now() before anyone reads.
     virtual const NetIfStats& stats() const noexcept { return stats_; }
@@ -114,6 +142,13 @@ protected:
         if (!up_ || !receiver_) return;
         ++stats_.packets_received;
         stats_.bytes_received += packet.size();
+        // The per-packet path may feed a custom receiver (tests capture
+        // raw bytes here), so a deferred checksum is always settled.
+        if (packet.csum_deferred) materialize_checksum(packet);
+        if (wire_tap_) {
+            wire_tap_(wire_digest(packet.bytes),
+                      static_cast<std::uint32_t>(packet.size()));
+        }
         receiver_(std::move(packet));
     }
 
@@ -121,16 +156,30 @@ protected:
     /// consumed prefix, after the receiver returns but before any pending
     /// event fires — so a bailed-to event observes the same stats it would
     /// have seen under per-packet delivery. Sizes are snapshotted first:
-    /// the receiver moves consumed packets out of their ring slots.
+    /// the receiver moves consumed packets out of their ring slots. The
+    /// wire tap likewise digests every slot up front (the bytes are gone
+    /// after consumption) but commits only the consumed prefix, so a
+    /// bailed tail is reported once, on redelivery.
     std::size_t deliver_burst(PacketBurst& burst) {
         std::array<std::uint32_t, kBurst> sizes;
+        std::array<std::uint64_t, kBurst> digests;
         for (std::size_t i = 0; i < burst.count; ++i) {
             sizes[i] = static_cast<std::uint32_t>(burst.items[i].packet->size());
+            if (wire_tap_) {
+                // The burst receiver is always the vouch-trusting IP stack
+                // (custom receivers force the per-packet path), so the tap
+                // digest is the only byte observer on this path.
+                if (burst.items[i].packet->csum_deferred) {
+                    materialize_checksum(*burst.items[i].packet);
+                }
+                digests[i] = wire_digest(burst.items[i].packet->bytes);
+            }
         }
         const std::size_t consumed = burst_receiver_(burst);
         for (std::size_t i = 0; i < consumed; ++i) {
             ++stats_.packets_received;
             stats_.bytes_received += sizes[i];
+            if (wire_tap_) wire_tap_(digests[i], sizes[i]);
         }
         return consumed;
     }
@@ -142,6 +191,7 @@ protected:
     Receiver receiver_;
     BurstReceiver burst_receiver_;
     DropObserver drop_observer_;
+    WireTap wire_tap_;
     std::vector<std::function<void(bool)>> state_observers_;
     NetIfStats stats_;
     bool up_ = true;

@@ -412,6 +412,13 @@ private:
         const double p_hit = 1.0 - std::pow(1.0 - params_.bit_error_rate, bits);
         if (!link_.rng_.chance(p_hit)) return;
         ++channel_stats_.packets_corrupted;
+        // A deferred checksum must hit the wire before the bits do: the
+        // receiver's verification fold runs over [materialized|corrupted]
+        // bytes exactly as it would over an eagerly-encoded segment.
+        if (packet.csum_deferred) materialize_checksum(packet);
+        // Flipped bits invalidate any encoder-computed checksum: the
+        // receiver must fall back to the full verification fold.
+        packet.csum_ok = false;
         const auto flips = link_.rng_.uniform(1, 3);
         for (std::uint64_t i = 0; i < flips; ++i) {
             const auto bit = link_.rng_.uniform(0, packet.size() * 8 - 1);

@@ -117,12 +117,24 @@ util::ByteBuffer encode_tcp_segment(const TcpHeader& header, util::Ipv4Address s
     return out;
 }
 
+void write_tcp_header(std::span<std::uint8_t> out, const TcpHeader& header) {
+    write_header_fields(out.data(), kTcpHeaderSize, header);
+}
+
 std::optional<TcpHeader> decode_tcp(util::Ipv4Address src, util::Ipv4Address dst,
                                     std::span<const std::uint8_t> segment,
                                     std::span<const std::uint8_t>& payload_out) {
+    return decode_tcp(src, dst, segment, payload_out, true);
+}
+
+std::optional<TcpHeader> decode_tcp(util::Ipv4Address src, util::Ipv4Address dst,
+                                    std::span<const std::uint8_t> segment,
+                                    std::span<const std::uint8_t>& payload_out,
+                                    bool verify_checksum) {
     // Checksum first (over whatever arrived, same as the seed decoder): a
     // corrupted length field must not turn "corrupt" into "malformed".
-    if (util::transport_checksum(src, dst, ip::kProtoTcp, segment) != 0) {
+    if (verify_checksum &&
+        util::transport_checksum(src, dst, ip::kProtoTcp, segment) != 0) {
         return std::nullopt;
     }
     // Direct loads, every offset proven in range: the fixed header by the

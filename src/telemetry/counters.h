@@ -67,8 +67,23 @@ enum class Counter : std::uint16_t {
     UdpRx,
     UdpDropChecksum,
     UdpDropNoSocket,
+    // --- segmentation offload (appended: slot order is wire order) --------
+    // Diagnostics for the GSO/GRO pipeline (DESIGN.md §12). Like the event
+    // count, the run/train shape is an engine artifact, not a semantic:
+    // twin comparisons that cross engine modes (burst vs per-packet,
+    // sequential vs sharded) mask these four slots.
+    TcpGsoBuilds,  ///< mega-segment descriptors emitted by the send path
+    TcpGsoSegs,    ///< wire segments produced by late splits at the link
+    TcpGroRuns,    ///< receive runs (>= 2 segments) coalesced by the fast lane
+    TcpGroSegs,    ///< segments consumed through the run fast lane
     kCount,
 };
+
+/// True for the offload-shape diagnostics that engine-mode twins mask.
+constexpr bool offload_diagnostic(Counter c) noexcept {
+    return c == Counter::TcpGsoBuilds || c == Counter::TcpGsoSegs ||
+           c == Counter::TcpGroRuns || c == Counter::TcpGroSegs;
+}
 
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
 
@@ -111,6 +126,10 @@ constexpr const char* counter_name(Counter c) noexcept {
         case Counter::UdpRx: return "udp.rx";
         case Counter::UdpDropChecksum: return "udp.drop.checksum";
         case Counter::UdpDropNoSocket: return "udp.drop.no_socket";
+        case Counter::TcpGsoBuilds: return "tcp.gso_builds";
+        case Counter::TcpGsoSegs: return "tcp.gso_segs";
+        case Counter::TcpGroRuns: return "tcp.gro_runs";
+        case Counter::TcpGroSegs: return "tcp.gro_segs";
         case Counter::kCount: break;
     }
     return "?";

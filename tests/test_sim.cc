@@ -29,10 +29,27 @@ void* operator new[](std::size_t size) {
     throw std::bad_alloc();
 }
 
+// The nothrow forms must be overridden too: libstdc++'s temporary buffers
+// (std::inplace_merge in RoutingTable::bulk_load) allocate with
+// operator new(nothrow) but release through plain operator delete — if
+// only the throwing forms route to malloc, the pairing splits across
+// allocators (ASan flags the mismatch).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    ++g_heap_allocs;
+    return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    ++g_heap_allocs;
+    return std::malloc(size);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace catenet::sim {
 namespace {

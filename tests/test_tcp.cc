@@ -38,6 +38,21 @@ void* operator new[](std::size_t size) {
     throw std::bad_alloc();
 }
 
+// The nothrow forms must be overridden too: libstdc++'s temporary buffers
+// (std::inplace_merge in RoutingTable::bulk_load) allocate with
+// operator new(nothrow) but release through plain operator delete — if
+// only the throwing forms route to malloc, the pairing splits across
+// allocators (ASan flags the mismatch).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    ++g_heap_allocs;
+    return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    ++g_heap_allocs;
+    return std::malloc(size);
+}
+
 // GCC flags free() inside replaced operator delete as mismatched when it
 // inlines both sides; the pairing here is malloc/free-consistent.
 #pragma GCC diagnostic push
@@ -46,6 +61,8 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 #pragma GCC diagnostic pop
 
 namespace catenet::tcp {
